@@ -1,0 +1,68 @@
+"""E1 — storage size and NodeID-index entries vs packing factor (§3.1).
+
+Paper claim: for a k-node tree with average node body n and per-record
+overhead b, packing p nodes per record needs ≈ k(n + b/p) storage versus
+k(n + b) for one-node-per-row, and "the packed nodes scheme only requires
+about 2k/p entries or less" in the NodeID index versus k.  This bench sweeps
+the record-size limit (the packing knob) over one synthetic document and
+reports measured nodes/record (p), bytes/node, and index entries against the
+2k/p bound, with the shredded one-node-per-row store as the baseline.
+"""
+
+from conftest import fresh_names, fresh_pool, print_table
+
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xmlstore.shred import ShreddedStore
+from repro.xmlstore.store import XmlStore
+from repro.workload.generator import wide_document
+
+DOC = wide_document(n_children=500, payload_words=4, seed=7)
+LIMITS = [96, 256, 1024, 4000]
+
+
+def packed_footprint(limit):
+    pool, _stats = fresh_pool()
+    store = XmlStore(pool, fresh_names(), record_limit=limit)
+    info = store.insert_document_text(1, DOC)
+    return info, store.storage_footprint()
+
+
+def test_e1_storage_and_index_entries(benchmark):
+    # Baseline: one node per row.
+    pool, _stats = fresh_pool()
+    shred = ShreddedStore(pool, fresh_names())
+    shred_rows = shred.insert_document_events(1, parse(DOC).events())
+    shred_fp = shred.storage_footprint()
+
+    rows = []
+    for limit in LIMITS:
+        info, footprint = packed_footprint(limit)
+        k = info.node_count
+        p = k / footprint["record_count"]
+        bound = 2 * k / p
+        rows.append([
+            limit,
+            footprint["record_count"],
+            f"{p:.1f}",
+            footprint["data_bytes"],
+            f"{footprint['data_bytes'] / k:.1f}",
+            footprint["nodeid_index_entries"],
+            f"{bound:.0f}",
+            "yes" if footprint["nodeid_index_entries"] <= bound + 1 else "NO",
+        ])
+    print_table(
+        "E1: packed storage vs packing factor (k = "
+        f"{shred_rows} nodes; shred baseline: {shred_fp['record_count']} "
+        f"rows, {shred_fp['data_bytes']} B, "
+        f"{shred_fp['nodeid_index_entries']} index entries)",
+        ["limit", "records", "p=nodes/rec", "bytes", "bytes/node",
+         "ix entries", "2k/p bound", "within bound"],
+        rows)
+
+    # Shape assertions: the paper's trends must hold.
+    entries = [packed_footprint(limit)[1]["nodeid_index_entries"]
+               for limit in LIMITS]
+    assert entries[0] > entries[-1]                      # entries fall with p
+    assert entries[-1] < shred_fp["nodeid_index_entries"]  # ≪ k
+    benchmark(lambda: packed_footprint(1024))

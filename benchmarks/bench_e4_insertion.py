@@ -1,0 +1,190 @@
+"""E4 — insertion pipeline: token stream vs SAX callbacks vs DOM (§3.2).
+
+Paper claims: application interfaces "such as SAX or DOM ... suffer from
+significant overhead of excessive procedure calls for event handling or
+in-memory construction of intermediate data structures"; the buffered token
+stream amortizes that, and schema validation runs as a table-driven VM over
+the compiled (binary) schema.  The bench times four insertion front ends
+over the same document and reports relative cost.
+"""
+
+import time
+
+from conftest import fresh_names, fresh_pool, print_table
+
+from repro.workload.generator import catalog_document
+from repro.xdm.events import build_tree, events_from_tree
+from repro.xdm.parser import parse, parse_sax
+from repro.xmlstore.store import XmlStore
+from repro.xschema.compiler import compile_schema
+from repro.xschema.validator import ValidationVM
+
+DOC = catalog_document(n_products=150, seed=5)
+
+CATALOG_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Catalog" type="CatalogT"/>
+  <xs:complexType name="CatalogT"><xs:sequence>
+    <xs:element name="Categories" type="CategoriesT"/>
+  </xs:sequence></xs:complexType>
+  <xs:complexType name="CategoriesT"><xs:sequence>
+    <xs:element name="Product" type="ProductT" maxOccurs="unbounded"/>
+  </xs:sequence></xs:complexType>
+  <xs:complexType name="ProductT">
+    <xs:sequence>
+      <xs:element name="ProductName" type="xs:string"/>
+      <xs:element name="RegPrice" type="xs:double"/>
+      <xs:element name="Discount" type="xs:double"/>
+      <xs:element name="Description" type="xs:string"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:string" use="required"/>
+  </xs:complexType>
+  <xs:element name="Categories" type="CategoriesT"/>
+  <xs:element name="Product" type="ProductT"/>
+  <xs:element name="ProductName" type="xs:string"/>
+  <xs:element name="RegPrice" type="xs:double"/>
+  <xs:element name="Discount" type="xs:double"/>
+  <xs:element name="Description" type="xs:string"/>
+</xs:schema>
+"""
+
+
+def insert_via_token_stream(docid, store):
+    stream = parse(DOC)  # buffered binary token stream (the engine path)
+    store.insert_document_events(docid, stream.events())
+
+
+class _SaxHandler:
+    """A classic SAX content handler: one method call per event kind,
+    building an intermediate event list for the construction phase — the
+    "excessive procedure calls" baseline."""
+
+    def __init__(self):
+        self.events = []
+        from repro.xdm.events import EventKind
+        self._dispatch = {
+            EventKind.DOC_START: self.start_document,
+            EventKind.DOC_END: self.end_document,
+            EventKind.ELEM_START: self.start_element,
+            EventKind.ELEM_END: self.end_element,
+            EventKind.ATTR: self.attribute,
+            EventKind.TEXT: self.characters,
+            EventKind.NS: self.namespace,
+            EventKind.COMMENT: self.comment,
+            EventKind.PI: self.processing_instruction,
+        }
+
+    def handle(self, event):
+        self._dispatch[event.kind](event)
+
+    def start_document(self, event):
+        self.events.append(event)
+
+    def end_document(self, event):
+        self.events.append(event)
+
+    def start_element(self, event):
+        self.events.append(event)
+
+    def end_element(self, event):
+        self.events.append(event)
+
+    def attribute(self, event):
+        self.events.append(event)
+
+    def characters(self, event):
+        self.events.append(event)
+
+    def namespace(self, event):
+        self.events.append(event)
+
+    def comment(self, event):
+        self.events.append(event)
+
+    def processing_instruction(self, event):
+        self.events.append(event)
+
+
+def insert_via_sax(docid, store):
+    handler = _SaxHandler()
+    parse_sax(DOC, handler.handle)
+    store.insert_document_events(docid, iter(handler.events))
+
+
+def insert_via_dom(docid, store):
+    tree = build_tree(parse(DOC))  # intermediate in-memory tree
+    store.insert_document_events(docid, events_from_tree(tree))
+
+
+def make_validating_inserter():
+    vm = ValidationVM(compile_schema(CATALOG_XSD))
+
+    def insert(docid, store):
+        typed = vm.validate_events(parse(DOC, strip_whitespace=True).events())
+        store.insert_document_events(docid, typed.events())
+    return insert
+
+
+def timed(fn, repeats=5):
+    pool, _ = fresh_pool(capacity=2048)
+    store = XmlStore(pool, fresh_names(), record_limit=1024)
+    start = time.perf_counter()
+    for docid in range(1, repeats + 1):
+        fn(docid, store)
+    return (time.perf_counter() - start) / repeats
+
+
+def _intermediate_bytes():
+    """Memory of the intermediate parse representation per front end."""
+    import sys
+    stream = parse(DOC)
+    token_bytes = stream.byte_size
+    handler = _SaxHandler()
+    parse_sax(DOC, handler.handle)
+    event_bytes = sum(
+        sys.getsizeof(e) + sys.getsizeof(e.local) + sys.getsizeof(e.value)
+        for e in handler.events)
+    tree = build_tree(parse(DOC))
+    dom_bytes = sum(
+        sys.getsizeof(node) + sum(sys.getsizeof(v) for v in
+                                  (getattr(node, "local", ""),
+                                   getattr(node, "value", "")))
+        for node in tree.descendants_or_self())
+    return token_bytes, event_bytes, dom_bytes
+
+
+def test_e4_insertion_frontends(benchmark):
+    token_time = timed(insert_via_token_stream)
+    sax_time = timed(insert_via_sax)
+    dom_time = timed(insert_via_dom)
+    validating_time = timed(make_validating_inserter())
+    token_bytes, event_bytes, dom_bytes = _intermediate_bytes()
+
+    rows = [
+        ["buffered token stream", f"{token_time * 1e3:.2f}", "1.00x",
+         token_bytes],
+        ["per-event SAX callbacks", f"{sax_time * 1e3:.2f}",
+         f"{sax_time / token_time:.2f}x", event_bytes],
+        ["DOM construction first", f"{dom_time * 1e3:.2f}",
+         f"{dom_time / token_time:.2f}x", dom_bytes],
+        ["validating (schema VM)", f"{validating_time * 1e3:.2f}",
+         f"{validating_time / token_time:.2f}x", token_bytes],
+    ]
+    print_table("E4: insertion front ends (ms per document, "
+                f"{len(DOC)} B input)",
+                ["front end", "ms/doc", "vs token stream",
+                 "intermediate B"], rows)
+
+    # Shape: the buffered token stream's intermediate form is an order of
+    # magnitude smaller than per-event objects or the DOM tree (the paper's
+    # "no intermediate data structures" point).  Time ordering is reported
+    # but not asserted: in CPython the binary encode cost and the
+    # procedure-call cost are the same order of magnitude, unlike the
+    # compiled engines the paper measured (see EXPERIMENTS.md).
+    assert token_bytes * 5 < event_bytes
+    assert token_bytes * 5 < dom_bytes
+
+    pool, _ = fresh_pool(capacity=2048)
+    store = XmlStore(pool, fresh_names(), record_limit=1024)
+    counter = iter(range(1, 10_000))
+    benchmark(lambda: insert_via_token_stream(next(counter), store))

@@ -1,0 +1,65 @@
+"""E5a — active matching state vs recursion depth (Fig. 7, §4.2).
+
+Paper claim: checking only stack tops "reduces the number of active states
+... from potentially exponential (when a path expression like //a//a//a
+matches with a document with recursively nested a elements) to the number of
+query nodes at maximum" per nesting level; QuickXScan needs O(|Q|·r)
+matching units, the naive per-instance automaton explodes polynomially in
+the query length (and loses only because it never merges states).
+"""
+
+from conftest import print_table
+
+from repro.core.stats import StatsRegistry
+from repro.lang.parser import parse_xpath
+from repro.workload.generator import recursive_document
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.automaton import NaiveStreamEvaluator
+from repro.xpath.qtree import compile_query
+from repro.xpath.quickxscan import QuickXScan
+
+QUERY = "//a//a//a"
+DEPTHS = [8, 16, 32, 64]
+
+
+def measure(depth):
+    events = list(assign_node_ids(
+        parse(recursive_document(depth)).events()))
+    naive = NaiveStreamEvaluator(QUERY)
+    naive_result = naive.run(iter(events))
+    stats = StatsRegistry()
+    query = compile_query(parse_xpath(QUERY))
+    qx_result = QuickXScan(query, stats=stats).run(iter(events))
+    assert {i.node_id for i in naive_result} == \
+        {i.node_id for i in qx_result}
+    return (naive.peak_instances, stats.gauge("xscan.peak_units"),
+            query.size, len(qx_result))
+
+
+def test_e5a_active_states(benchmark):
+    rows = []
+    for depth in DEPTHS:
+        naive_peak, qx_peak, q_size, matches = measure(depth)
+        rows.append([depth, matches, naive_peak, qx_peak,
+                     q_size * depth + 1,
+                     f"{naive_peak / qx_peak:.1f}x"])
+    print_table(
+        f"E5a: peak matching units for {QUERY} over nested <a> documents",
+        ["recursion r", "results", "naive automaton", "QuickXScan",
+         "|Q|*r bound", "naive/QuickXScan"],
+        rows)
+
+    # Shape: QuickXScan stays within O(|Q|·r); the naive evaluator's state
+    # count grows superlinearly, so the gap widens with depth.
+    ratios = []
+    for depth in DEPTHS:
+        naive_peak, qx_peak, q_size, _ = measure(depth)
+        assert qx_peak <= q_size * depth + 2
+        ratios.append(naive_peak / qx_peak)
+    assert ratios[-1] > 2 * ratios[0]
+
+    events = list(assign_node_ids(
+        parse(recursive_document(DEPTHS[-1])).events()))
+    query = compile_query(parse_xpath(QUERY))
+    benchmark(lambda: QuickXScan(query).run(iter(events)))

@@ -1,0 +1,74 @@
+"""Quickstart: a native XML database in a dozen calls.
+
+Creates a table with an XML column, stores documents, builds an XPath value
+index, and runs index-accelerated XPath queries — the System R/X pipeline of
+Fig. 2 end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+db = Database()
+
+# A base table with a relational column and an XML column.  Every row gets
+# an implicit DocID; the XML data lives in an internal XML table packed into
+# records with Dewey node IDs (§3.1).
+db.create_table("bookstore", [("store_id", "bigint"), ("inventory", "xml")])
+
+DOCS = [
+    """<inventory>
+         <book isbn="0-13-110362-8">
+           <title>The C Programming Language</title>
+           <price>45.00</price><stock>12</stock>
+         </book>
+         <book isbn="0-201-03801-3">
+           <title>The Art of Computer Programming</title>
+           <price>210.00</price><stock>2</stock>
+         </book>
+       </inventory>""",
+    """<inventory>
+         <book isbn="1-55860-190-2">
+           <title>Transaction Processing</title>
+           <price>89.95</price><stock>5</stock>
+         </book>
+       </inventory>""",
+]
+for store_id, doc in enumerate(DOCS, start=1):
+    db.insert("bookstore", (store_id, doc))
+
+# An XPath value index (§3.3): maps price values to (DocID, NodeID, RID).
+db.create_xpath_index("ix_price", "bookstore", "inventory",
+                      "/inventory/book/price", "double")
+
+# The planner matches the predicate against the index (Table 2 case 1).
+query = "/inventory/book[price > 80]"
+plan = db.plan_xpath("bookstore", "inventory", query)
+print("plan:")
+print(plan.explain())
+
+print("\nexpensive books:")
+for result in db.xpath("bookstore", "inventory", query):
+    xml = db.serialize_result("bookstore", "inventory", result)
+    print(f"  store {result.row[0]} (DocID {result.docid}): {xml}")
+
+# Point access by logical node ID through the NodeID index (§3.4).
+first = db.xpath("bookstore", "inventory", "//title")[0]
+store = db.xml_stores[("bookstore", "inventory")]
+doc_reader = store.document(first.docid)
+print("\nfirst title via (DocID, NodeID):",
+      doc_reader.node_string_value(first.node_id))
+print("its ancestors from the record header:",
+      [local for local, _uri in doc_reader.ancestry(first.node_id)])
+
+# Subdocument update: stable node IDs, one record touched (§3.1).
+updater = db.updater("bookstore", "inventory")
+stock_text = next(
+    event.node_id
+    for reader in [store.document(1)]
+    for i, event in enumerate(list(reader.events()))
+    if event.kind.name == "TEXT" and event.value == "12")
+updater.replace_text(1, stock_text, "11")
+print("\nafter selling one copy:",
+      db.xpath("bookstore", "inventory", "//book[stock = 11]/title")[0]
+      .match.item.value)

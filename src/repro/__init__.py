@@ -1,0 +1,44 @@
+"""System R/X reproduction: a native XML database engine on relational
+infrastructure.
+
+Public API highlights:
+
+* :class:`Database` — the engine facade: tables, XML columns, XPath value
+  indexes, XPath queries, schema registration, recovery.
+* :class:`SqlSession` — the SQL/XML statement surface.
+* :func:`parse_xpath` / :func:`evaluate_xpath` — standalone XPath parsing and
+  QuickXScan streaming evaluation over any event source.
+* :func:`parse_xml` / :func:`serialize_xml` — the XML parser (buffered token
+  streams) and serializer.
+* :class:`XmlStore` — the native XML storage layer, usable without the
+  engine facade.
+"""
+
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.engine import Database, XPathResult
+from repro.core.stats import StatsRegistry
+from repro.lang.parser import parse_xpath
+from repro.query.plan import AccessMethod
+from repro.query.sqlxml import SqlSession
+from repro.xdm.parser import parse as parse_xml
+from repro.xdm.serializer import serialize as serialize_xml
+from repro.xmlstore.store import XmlStore
+from repro.xpath.quickxscan import evaluate as evaluate_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMethod",
+    "DEFAULT_CONFIG",
+    "Database",
+    "EngineConfig",
+    "SqlSession",
+    "StatsRegistry",
+    "XPathResult",
+    "XmlStore",
+    "evaluate_xpath",
+    "parse_xml",
+    "parse_xpath",
+    "serialize_xml",
+    "__version__",
+]

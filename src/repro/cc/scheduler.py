@@ -1,0 +1,162 @@
+"""Deterministic concurrent-workload simulator.
+
+Concurrency experiments need reproducible interleavings, so instead of
+threads the engine runs transaction *programs* (generators of actions) under
+a seeded round-robin/random scheduler.  Lock requests that would block leave
+the program waiting; a waits-for cycle aborts a victim (which may restart).
+The scheduler reports committed/aborted counts, wait steps and makespan —
+the measures experiments E9a/E9b compare across protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Protocol
+
+from repro.errors import TransactionError
+
+
+class LockBackend(Protocol):
+    """What the scheduler needs from a lock protocol."""
+
+    def try_acquire(self, txn_id: int, resource: object, mode) -> bool: ...
+
+    def release_all(self, txn_id: int) -> None: ...
+
+    def find_deadlock(self) -> list[int] | None: ...
+
+
+#: Program actions.
+@dataclass(frozen=True)
+class Lock:
+    """Request a lock; the program resumes when granted."""
+
+    resource: object
+    mode: object
+
+
+@dataclass(frozen=True)
+class Do:
+    """Run a side effect (must not block)."""
+
+    effect: Callable[[], None]
+
+
+#: A program body: receives its txn id, yields actions, returns at commit.
+ProgramBody = Callable[[int], Iterator[object]]
+
+
+@dataclass
+class ScheduleResult:
+    committed: int = 0
+    aborted: int = 0
+    wait_steps: int = 0
+    total_steps: int = 0
+    commit_order: list[str] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        return self.total_steps
+
+
+class _Runner:
+    def __init__(self, name: str, body: ProgramBody, txn_id: int,
+                 restartable: bool) -> None:
+        self.name = name
+        self.body = body
+        self.txn_id = txn_id
+        self.restartable = restartable
+        self.iterator = body(txn_id)
+        self.pending: object | None = None
+        self.done = False
+
+
+class Scheduler:
+    """Runs programs to completion under a lock backend."""
+
+    def __init__(self, locks: LockBackend, seed: int = 0,
+                 max_steps: int = 100_000) -> None:
+        self.locks = locks
+        self.rng = random.Random(seed)
+        self.max_steps = max_steps
+        self._next_txn = 1000  # distinct from interactive txns
+
+    def run(self, programs: list[tuple[str, ProgramBody]],
+            restartable: bool = True,
+            round_robin: bool = False) -> ScheduleResult:
+        """Execute all programs; returns aggregate statistics."""
+        runners = []
+        for name, body in programs:
+            self._next_txn += 1
+            runners.append(_Runner(name, body, self._next_txn, restartable))
+        result = ScheduleResult()
+        active = list(runners)
+        cursor = 0
+        while active:
+            result.total_steps += 1
+            if result.total_steps > self.max_steps:
+                raise TransactionError(
+                    "scheduler exceeded max steps (livelock?)")
+            if round_robin:
+                runner = active[cursor % len(active)]
+                cursor += 1
+            else:
+                runner = self.rng.choice(active)
+            self._step(runner, result)
+            if runner.done:
+                active.remove(runner)
+                continue
+            # Deadlock handling after blocked steps.
+            cycle = self.locks.find_deadlock()
+            if cycle:
+                victim = self._pick_victim(cycle, runners)
+                self._abort(victim, result)
+                if not victim.done:
+                    pass
+                if victim in active and victim.done:
+                    active.remove(victim)
+        return result
+
+    def _step(self, runner: _Runner, result: ScheduleResult) -> None:
+        action = runner.pending
+        if action is None:
+            try:
+                action = next(runner.iterator)
+            except StopIteration:
+                self.locks.release_all(runner.txn_id)
+                runner.done = True
+                result.committed += 1
+                result.commit_order.append(runner.name)
+                return
+        if isinstance(action, Lock):
+            if self.locks.try_acquire(runner.txn_id, action.resource,
+                                      action.mode):
+                runner.pending = None
+            else:
+                runner.pending = action
+                result.wait_steps += 1
+        elif isinstance(action, Do):
+            action.effect()
+            runner.pending = None
+        else:
+            raise TransactionError(f"unknown scheduler action {action!r}")
+
+    def _pick_victim(self, cycle: list[int],
+                     runners: list[_Runner]) -> _Runner:
+        by_txn = {runner.txn_id: runner for runner in runners}
+        # Youngest (largest txn id) dies — deterministic.
+        victim_txn = max(t for t in cycle if t in by_txn)
+        return by_txn[victim_txn]
+
+    def _abort(self, runner: _Runner, result: ScheduleResult) -> None:
+        self.locks.release_all(runner.txn_id)
+        runner.iterator.close()
+        result.aborted += 1
+        if runner.restartable:
+            self._next_txn += 1
+            runner.txn_id = self._next_txn
+            runner.iterator = runner.body(runner.txn_id)
+            runner.pending = None
+        else:
+            runner.done = True

@@ -1,0 +1,49 @@
+"""Engine configuration.
+
+One frozen dataclass carries every tunable the experiments sweep; components
+take the values they need at construction time so a single engine instance is
+internally consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables for the storage engine and XML services.
+
+    Attributes:
+        page_size: Size in bytes of one storage page.  The paper's analysis
+            notes the record size is bounded by the page size (§3.1).
+        buffer_pool_pages: Number of frames in the buffer pool.
+        record_size_limit: Tree-packing threshold (§3.1): a subtree (or run of
+            sibling subtrees) is spilled into its own record once its encoded
+            size exceeds this many bytes.  This is the packing-factor knob
+            swept by experiments E1-E3.
+        btree_order_bytes: Soft per-page payload budget before a B+tree node
+            splits.
+        lock_timeout_steps: Deterministic-scheduler steps a lock request may
+            wait before timing out (concurrency experiments).
+        mvcc_retained_versions: How many committed document versions the
+            versioned NodeID index keeps before garbage collection.
+        validate_on_insert: Whether document inserts run schema validation
+            when the column has a registered schema.
+    """
+
+    page_size: int = 4096
+    buffer_pool_pages: int = 256
+    record_size_limit: int = 1024
+    btree_order_bytes: int = 3500
+    lock_timeout_steps: int = 10_000
+    mvcc_retained_versions: int = 4
+    validate_on_insert: bool = True
+
+    def with_(self, **changes: object) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: Default configuration used when callers do not supply one.
+DEFAULT_CONFIG = EngineConfig()

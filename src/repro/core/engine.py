@@ -1,0 +1,394 @@
+"""The System R/X engine facade (Fig. 1 and Fig. 2 glued together).
+
+A :class:`Database` owns the shared relational infrastructure (device,
+buffer pool, catalog, log, locks) plus the XML services: base tables with XML
+columns get an implicit ``DocID`` column, one internal XML table (an
+:class:`~repro.xmlstore.store.XmlStore`) per XML column, a DocID index
+mapping DocIDs back to base rows, and any number of XPath value indexes.
+
+DDL and DML are logged; :meth:`Database.replay` performs archive recovery by
+re-executing the committed log against a fresh database — record placement is
+deterministic, so all physical IDs reproduce.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from decimal import Decimal
+
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.stats import StatsRegistry
+from repro.errors import CatalogError, DocumentNotFoundError, QueryError
+from repro.indexes.definition import XPathIndexDefinition
+from repro.indexes.manager import XPathValueIndex
+from repro.lang import ast
+from repro.lang.parser import parse_xpath
+from repro.query.executor import Executor, QueryMatch
+from repro.query.plan import AccessMethod, AccessPlan
+from repro.query.planner import Planner
+from repro.rdb import codec
+from repro.rdb.btree import BTree
+from repro.rdb.buffer import BufferPool
+from repro.rdb.catalog import Catalog, ColumnDef, IndexDef, TableDef
+from repro.rdb.storage import Disk
+from repro.rdb.table import Table
+from repro.rdb.tablespace import Rid
+from repro.rdb.txn import TransactionManager
+from repro.rdb.values import SqlType
+from repro.rdb.wal import LogManager, LogOp, replay as wal_replay
+from repro.xdm.serializer import serialize
+from repro.xmlstore.store import XmlStore
+from repro.xmlstore.update import XmlUpdater
+
+
+@dataclass(frozen=True)
+class XPathResult:
+    """One XPath query result row."""
+
+    docid: int
+    base_rid: Rid
+    row: tuple
+    match: QueryMatch
+
+    @property
+    def node_id(self) -> bytes | None:
+        return self.match.item.node_id
+
+
+class Database:
+    """One engine instance: relational services + XML services."""
+
+    def __init__(self, config: EngineConfig = DEFAULT_CONFIG,
+                 stats: StatsRegistry | None = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.disk = Disk(config.page_size, stats=self.stats)
+        self.pool = BufferPool(self.disk, capacity=config.buffer_pool_pages)
+        self.catalog = Catalog()
+        self.log = LogManager(stats=self.stats)
+        self.txns = TransactionManager(log=self.log, stats=self.stats)
+        self.tables: dict[str, Table] = {}
+        self.xml_stores: dict[tuple[str, str], XmlStore] = {}
+        self.docid_indexes: dict[str, BTree] = {}
+        self.value_indexes: dict[str, XPathValueIndex] = {}
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(self, name: str,
+                     columns: list[tuple[str, str]]) -> TableDef:
+        """Create a base table; ``columns`` are (name, SQL type) pairs."""
+        definition = TableDef(name, [
+            ColumnDef(col_name, SqlType.parse(col_type))
+            for col_name, col_type in columns
+        ])
+        self._apply_create_table(definition)
+        payload = bytearray()
+        codec.write_str(payload, name)
+        codec.write_uvarint(payload, len(columns))
+        for col_name, col_type in columns:
+            codec.write_str(payload, col_name)
+            codec.write_str(payload, col_type)
+        self.log.append(-1, LogOp.DDL, "create_table", bytes(payload))
+        return definition
+
+    def _apply_create_table(self, definition: TableDef) -> None:
+        self.catalog.add_table(definition)
+        table = Table(definition, self.pool)
+        self.tables[definition.name] = table
+        if definition.has_xml:
+            self.docid_indexes[definition.name] = BTree(
+                self.pool, name=f"docix.{definition.name}", unique=True)
+            for column in definition.xml_columns:
+                store = XmlStore(self.pool, self.catalog.names,
+                                 record_limit=self.config.record_size_limit,
+                                 name=f"{definition.name}.{column.name}")
+                self.xml_stores[(definition.name, column.name)] = store
+
+    def create_xpath_index(self, name: str, table: str, column: str,
+                           path: str, key_type: str,
+                           namespaces: dict[str, str] | None = None
+                           ) -> XPathValueIndex:
+        """Create an XPath value index on an XML column (§3.3)."""
+        store = self._store(table, column)
+        definition = XPathIndexDefinition(name, path, key_type, namespaces)
+        index = XPathValueIndex(definition, self.pool, self.catalog.names)
+        index.attach(store)
+        self.value_indexes[name] = index
+        self.catalog.add_index(IndexDef(name, table, "xpath", {
+            "column": column, **definition.spec()}))
+        payload = bytearray()
+        for text in (name, table, column, path, key_type):
+            codec.write_str(payload, text)
+        self.log.append(-1, LogOp.DDL, "create_xpath_index", bytes(payload))
+        return index
+
+    def register_schema(self, name: str, schema_text: str) -> None:
+        """Compile and register an XML schema (Fig. 4)."""
+        from repro.xschema.compiler import compile_schema
+        compiled = compile_schema(schema_text)
+        self.catalog.register_schema(name, compiled)
+        payload = bytearray()
+        codec.write_str(payload, name)
+        codec.write_str(payload, schema_text)
+        self.log.append(-1, LogOp.DDL, "register_schema", bytes(payload))
+
+    # -- DML -----------------------------------------------------------------------
+
+    def insert(self, table: str, row: tuple, txn_id: int = -1,
+               validate_against: str | None = None) -> Rid:
+        """Insert a row; XML column values are XML text strings.
+
+        All XML columns of the row share one implicit DocID (§3.1).
+        """
+        definition = self.catalog.table(table)
+        if len(row) != len(definition.columns):
+            raise QueryError(
+                f"row has {len(row)} values for {len(definition.columns)} "
+                f"columns of {table!r}")
+        self.log.append(txn_id, LogOp.INSERT, table,
+                        _encode_engine_row(row),
+                        validate_against.encode() if validate_against else b"")
+        rid = self._apply_insert(definition, row, validate_against)
+        txn = self.txns.active.get(txn_id)
+        if txn is not None:
+            txn.on_abort(lambda: self._apply_delete(table, rid))
+        return rid
+
+    def _apply_insert(self, definition: TableDef, row: tuple,
+                      validate_against: str | None) -> Rid:
+        storage_row = list(row)
+        docid = None
+        if definition.has_xml:
+            docid = self.catalog.next_docid(definition.name)
+            for position, column in enumerate(definition.columns):
+                if column.sql_type is not SqlType.XML:
+                    continue
+                xml_text = row[position]
+                if xml_text is None:
+                    storage_row[position] = None
+                    continue
+                store = self.xml_stores[(definition.name, column.name)]
+                if validate_against is not None and \
+                        self.config.validate_on_insert:
+                    from repro.xschema.validator import validate_text
+                    stream = validate_text(
+                        self.catalog.schema(validate_against), xml_text)
+                    store.insert_document_events(docid, stream.events())
+                else:
+                    store.insert_document_text(docid, str(xml_text))
+                storage_row[position] = docid
+        rid = self.tables[definition.name].insert(tuple(storage_row))
+        if docid is not None:
+            self.docid_indexes[definition.name].insert(
+                docid.to_bytes(8, "big"), rid.to_bytes())
+        return rid
+
+    def delete_row(self, table: str, rid: Rid, txn_id: int = -1) -> None:
+        """Delete a base row and its XML documents."""
+        self.log.append(txn_id, LogOp.DELETE, table, rid.to_bytes())
+        self._apply_delete(table, rid)
+
+    def _apply_delete(self, table: str, rid: Rid) -> None:
+        definition = self.catalog.table(table)
+        row = self.tables[table].delete(rid)
+        for position, column in enumerate(definition.columns):
+            if column.sql_type is SqlType.XML and row[position] is not None:
+                docid = row[position]
+                self.xml_stores[(table, column.name)].delete_document(docid)
+                self.docid_indexes[table].delete(docid.to_bytes(8, "big"))
+
+    def updater(self, table: str, column: str) -> XmlUpdater:
+        """Node-level updater for one XML column."""
+        return XmlUpdater(self._store(table, column))
+
+    # -- queries -----------------------------------------------------------------------
+
+    def planner(self, table: str, column: str) -> Planner:
+        store = self._store(table, column)
+        indexes = [
+            self.value_indexes[ix.name]
+            for ix in self.catalog.indexes_on(table, kind="xpath")
+            if ix.spec.get("column") == column
+        ]
+        return Planner(store, indexes)
+
+    def plan_xpath(self, table: str, column: str, path_text: str,
+                   namespaces: dict[str, str] | None = None,
+                   method: AccessMethod | None = None) -> AccessPlan:
+        path = parse_xpath(path_text, namespaces)
+        if not isinstance(path, ast.LocationPath):
+            raise QueryError(f"{path_text!r} is not a location path")
+        return self.planner(table, column).plan(path, force_method=method)
+
+    def xpath(self, table: str, column: str, path_text: str,
+              namespaces: dict[str, str] | None = None,
+              method: AccessMethod | None = None) -> list[XPathResult]:
+        """Evaluate an XPath query over one XML column.
+
+        Returns one result per matched node, joined back to the base row
+        through the DocID index (Fig. 2).
+        """
+        plan = self.plan_xpath(table, column, path_text, namespaces, method)
+        store = self._store(table, column)
+        matches = Executor(store, stats=self.stats).execute(plan)
+        docid_index = self.docid_indexes[table]
+        base_table = self.tables[table]
+        out = []
+        for match in matches:
+            rid_bytes = docid_index.search_one(match.docid.to_bytes(8, "big"))
+            if rid_bytes is None:  # pragma: no cover - index skew
+                continue
+            base_rid = Rid.from_bytes(rid_bytes)
+            out.append(XPathResult(match.docid, base_rid,
+                                   base_table.fetch(base_rid), match))
+        return out
+
+    def serialize_result(self, table: str, column: str,
+                         result: XPathResult) -> str:
+        """XML text of a matched node's subtree."""
+        store = self._store(table, column)
+        if result.node_id is None:
+            raise QueryError("result carries no node identity")
+        return serialize(store.document(result.docid)
+                         .node_events(result.node_id))
+
+    def get_document(self, table: str, column: str, docid: int) -> str:
+        """Full serialized document for a DocID."""
+        return serialize(self._store(table, column).document(docid).events())
+
+    # -- recovery -----------------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, log: LogManager,
+               config: EngineConfig = DEFAULT_CONFIG) -> "Database":
+        """Archive recovery: re-execute the committed log (§2 utilities)."""
+        db = cls(config)
+
+        def apply(record) -> None:
+            if record.op is LogOp.DDL:
+                db._apply_ddl(record.target, record.payload)
+            elif record.op is LogOp.INSERT:
+                row = _decode_engine_row(record.payload)
+                definition = db.catalog.table(record.target)
+                validate = record.extra.decode() if record.extra else None
+                db._apply_insert(definition, row, validate)
+            elif record.op is LogOp.DELETE:
+                db._apply_delete(record.target, Rid.from_bytes(record.payload))
+
+        wal_replay(log, apply, committed_only=True)
+        return db
+
+    def _apply_ddl(self, kind: str, payload: bytes) -> None:
+        if kind == "create_table":
+            name, pos = codec.read_str(payload, 0)
+            n_cols, pos = codec.read_uvarint(payload, pos)
+            columns = []
+            for _ in range(n_cols):
+                col_name, pos = codec.read_str(payload, pos)
+                col_type, pos = codec.read_str(payload, pos)
+                columns.append(ColumnDef(col_name, SqlType.parse(col_type)))
+            self._apply_create_table(TableDef(name, columns))
+        elif kind == "create_xpath_index":
+            pos = 0
+            fields = []
+            for _ in range(5):
+                text, pos = codec.read_str(payload, pos)
+                fields.append(text)
+            name, table, column, path, key_type = fields
+            store = self._store(table, column)
+            definition = XPathIndexDefinition(name, path, key_type)
+            index = XPathValueIndex(definition, self.pool, self.catalog.names)
+            index.attach(store)
+            self.value_indexes[name] = index
+            self.catalog.add_index(IndexDef(name, table, "xpath", {
+                "column": column, **definition.spec()}))
+        elif kind == "register_schema":
+            from repro.xschema.compiler import compile_schema
+            name, pos = codec.read_str(payload, 0)
+            text, pos = codec.read_str(payload, pos)
+            self.catalog.register_schema(name, compile_schema(text))
+        else:
+            raise CatalogError(f"unknown DDL record {kind!r}")
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _store(self, table: str, column: str) -> XmlStore:
+        store = self.xml_stores.get((table, column))
+        if store is None:
+            raise DocumentNotFoundError(
+                f"{table}.{column} is not an XML column")
+        return store
+
+
+# -- engine-level row codec (python values incl. XML text) --------------------
+
+_CELL_NONE = 0
+_CELL_INT = 1
+_CELL_FLOAT = 2
+_CELL_STR = 3
+_CELL_BYTES = 4
+_CELL_DECIMAL = 5
+_CELL_DATE = 6
+
+
+def _encode_engine_row(row: tuple) -> bytes:
+    out = bytearray()
+    codec.write_uvarint(out, len(row))
+    for value in row:
+        if value is None:
+            out.append(_CELL_NONE)
+        elif isinstance(value, bool):
+            raise QueryError("boolean cells are not supported")
+        elif isinstance(value, int):
+            out.append(_CELL_INT)
+            codec.write_svarint(out, value)
+        elif isinstance(value, float):
+            out.append(_CELL_FLOAT)
+            codec.write_str(out, repr(value))
+        elif isinstance(value, str):
+            out.append(_CELL_STR)
+            codec.write_str(out, value)
+        elif isinstance(value, (bytes, bytearray)):
+            out.append(_CELL_BYTES)
+            codec.write_bytes(out, bytes(value))
+        elif isinstance(value, Decimal):
+            out.append(_CELL_DECIMAL)
+            codec.write_str(out, str(value))
+        elif isinstance(value, _dt.date):
+            out.append(_CELL_DATE)
+            codec.write_str(out, value.isoformat())
+        else:
+            raise QueryError(f"cannot log cell of type {type(value)}")
+    return bytes(out)
+
+
+def _decode_engine_row(payload: bytes) -> tuple:
+    count, pos = codec.read_uvarint(payload, 0)
+    values = []
+    for _ in range(count):
+        tag = payload[pos]
+        pos += 1
+        if tag == _CELL_NONE:
+            values.append(None)
+        elif tag == _CELL_INT:
+            value, pos = codec.read_svarint(payload, pos)
+            values.append(value)
+        elif tag == _CELL_FLOAT:
+            text, pos = codec.read_str(payload, pos)
+            values.append(float(text))
+        elif tag == _CELL_STR:
+            text, pos = codec.read_str(payload, pos)
+            values.append(text)
+        elif tag == _CELL_BYTES:
+            data, pos = codec.read_bytes(payload, pos)
+            values.append(data)
+        elif tag == _CELL_DECIMAL:
+            text, pos = codec.read_str(payload, pos)
+            values.append(Decimal(text))
+        elif tag == _CELL_DATE:
+            text, pos = codec.read_str(payload, pos)
+            values.append(_dt.date.fromisoformat(text))
+        else:
+            raise QueryError(f"corrupt logged row (tag {tag})")
+    return tuple(values)

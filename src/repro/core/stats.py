@@ -1,0 +1,99 @@
+"""Engine instrumentation counters.
+
+The paper's infrastructure box (Fig. 1) includes "instrumentation"; in this
+reproduction every layer reports into a shared :class:`StatsRegistry` so that
+experiments can measure page I/O, index traffic, lock waits and logged bytes
+instead of (noisy) wall-clock time.  All counters are plain integers and the
+registry is cheap enough to leave enabled permanently.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class StatsRegistry:
+    """A named bag of monotonically increasing counters.
+
+    Counters are created on first use, so layers do not need to pre-declare
+    what they report.  Well-known counter names used across the engine:
+
+    ``disk.page_reads`` / ``disk.page_writes``
+        physical page transfers on the simulated device
+    ``buffer.hits`` / ``buffer.misses`` / ``buffer.evictions``
+        buffer-pool behaviour
+    ``btree.searches`` / ``btree.inserts`` / ``btree.deletes`` /
+    ``btree.entries_scanned``
+        index-manager traffic
+    ``ts.records_read`` / ``ts.records_inserted`` / ``ts.bytes_touched``
+        table-space record traffic
+    ``wal.records`` / ``wal.bytes``
+        log volume
+    ``lock.acquired`` / ``lock.waits`` / ``lock.deadlocks``
+        lock-manager behaviour
+    ``xscan.events`` / ``xscan.matchings`` / ``xscan.peak_units``
+        QuickXScan work
+    """
+
+    def __init__(self) -> None:
+        self._counters: Counter[str] = Counter()
+        self._gauges: dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def set_high_water(self, name: str, value: int) -> None:
+        """Record ``value`` into gauge ``name`` if it exceeds the old mark."""
+        if value > self._gauges.get(name, 0):
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> int:
+        """Current high-water mark of gauge ``name`` (0 if never set)."""
+        return self._gauges.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter and gauge."""
+        self._counters.clear()
+        self._gauges.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters and gauges as a plain dict (gauges keyed verbatim)."""
+        merged: dict[str, int] = dict(self._counters)
+        merged.update(self._gauges)
+        return merged
+
+    @contextmanager
+    def delta(self) -> Iterator[dict[str, int]]:
+        """Context manager yielding a dict filled with counter deltas.
+
+        The yielded dict is empty during the block and is populated with the
+        difference between exit and entry values when the block finishes::
+
+            with stats.delta() as d:
+                run_query()
+            print(d.get("disk.page_reads", 0))
+        """
+        before = dict(self._counters)
+        out: dict[str, int] = {}
+        try:
+            yield out
+        finally:
+            for name, value in self._counters.items():
+                diff = value - before.get(name, 0)
+                if diff:
+                    out[name] = diff
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatsRegistry({body})"
+
+
+#: Registry used by components that are not handed an explicit one.
+GLOBAL_STATS = StatsRegistry()

@@ -1,0 +1,158 @@
+"""Path containment test for index matching (§4.3).
+
+"Since we do not keep complete path information in an XPath value index, when
+the XPath expression of the index *contains* a query XPath expression but is
+not equivalent to it, we use the index for filtering, and re-evaluation of
+the query XPath expression on the document data is necessary."
+
+For the linear child/descendant/attribute paths that index definitions allow,
+containment is decided by a containment mapping (a homomorphism) computed by
+dynamic programming.  The mapping is a sound witness — if one exists,
+containment holds; the handful of wildcard corner cases where homomorphism is
+incomplete only cost a missed index opportunity, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import lru_cache
+
+from repro.errors import XPathUnsupportedError
+from repro.lang import ast
+
+
+class PathRelation(enum.Enum):
+    """How an index path relates to a query value path (Table 2)."""
+
+    EXACT = "exact"          # same path language: DocID/NodeID list access
+    CONTAINS = "contains"    # index ⊇ query: filtering access
+    NONE = "none"            # index unusable for this predicate
+
+
+def _linear_steps(path: ast.LocationPath, shrink_ok: bool = True) -> tuple:
+    """Normalize a predicate-free linear path into (edge, name) pairs.
+
+    Edges: "child" | "descendant" (attribute steps keep a marker so an
+    element step never matches an attribute step).
+
+    A ``//`` surviving rewrite before an attribute step (descendant-OR-SELF)
+    is folded to a plain descendant edge.  That *shrinks* the language
+    (drops the self-attribute case), which is sound only for the index side
+    of a containment check; with ``shrink_ok=False`` (the query side) the
+    construct is rejected instead, so the planner falls back to a scan.
+    """
+    steps = []
+    pending_descendant = False
+    for step in path.steps:
+        if step.predicates:
+            raise XPathUnsupportedError(
+                "containment test requires predicate-free paths")
+        if step.axis is ast.Axis.DESCENDANT_OR_SELF and \
+                isinstance(step.test, ast.KindTest) and \
+                step.test.kind == "node":
+            if not shrink_ok:
+                raise XPathUnsupportedError(
+                    "descendant-or-self before an attribute step cannot be "
+                    "index-matched on the query side")
+            pending_descendant = True
+            continue
+        if not isinstance(step.test, ast.NameTest):
+            raise XPathUnsupportedError(
+                "containment test requires name tests")
+        if step.axis is ast.Axis.CHILD:
+            edge, kind = "child", "element"
+        elif step.axis is ast.Axis.DESCENDANT:
+            edge, kind = "descendant", "element"
+        elif step.axis is ast.Axis.ATTRIBUTE:
+            edge, kind = "child", "attribute"
+        elif step.axis is ast.Axis.DESCENDANT_OR_SELF:
+            edge, kind = "descendant", "element"
+        else:
+            raise XPathUnsupportedError(
+                f"axis {step.axis.value!r} in a linear path")
+        if pending_descendant:
+            edge = "descendant"
+            pending_descendant = False
+        name = (step.test.local, step.test.uri)
+        steps.append((edge, kind, name))
+    if pending_descendant:
+        raise XPathUnsupportedError("trailing // in a linear path")
+    return tuple(steps)
+
+
+def _name_covers(index_name: tuple[str, str | None],
+                 query_name: tuple[str, str | None]) -> bool:
+    """Does the index step's name test match everything the query's does?"""
+    i_local, i_uri = index_name
+    q_local, q_uri = query_name
+    if i_local == "*":
+        # Bare * covers any name; p:* covers only its own namespace.
+        return i_uri is None or i_uri == "*" or i_uri == q_uri
+    return i_local == q_local and i_uri == q_uri
+
+
+def contains(index_path: ast.LocationPath,
+             query_path: ast.LocationPath) -> bool:
+    """Does ``index_path`` match a superset of ``query_path``'s matches?"""
+    index_steps = _linear_steps(index_path, shrink_ok=True)
+    query_steps = _linear_steps(query_path, shrink_ok=False)
+    if not index_steps or not query_steps:
+        return False
+
+    @lru_cache(maxsize=None)
+    def mapped(i: int, j: int) -> bool:
+        """Can index step i map to query step j (suffixes align to ends)?"""
+        i_edge, i_kind, i_name = index_steps[i]
+        q_edge, q_kind, q_name = query_steps[j]
+        if i_kind != q_kind:
+            return False
+        if not _name_covers(i_name, q_name):
+            return False
+        if i == len(index_steps) - 1:
+            return j == len(query_steps) - 1  # leaves must align
+        next_edge = index_steps[i + 1][0]
+        if next_edge == "child":
+            # Consecutive in the instance: the query's next step must be an
+            # immediate-child step too.
+            return (j + 1 < len(query_steps)
+                    and query_steps[j + 1][0] == "child"
+                    and mapped(i + 1, j + 1))
+        # Descendant: any later query step may host the next index step.
+        return any(mapped(i + 1, j2)
+                   for j2 in range(j + 1, len(query_steps)))
+
+    first_edge = index_steps[0][0]
+    if first_edge == "child":
+        return query_steps[0][0] == "child" and mapped(0, 0)
+    return any(mapped(0, j) for j in range(len(query_steps)))
+
+
+def relate(index_path: ast.LocationPath,
+           query_path: ast.LocationPath) -> PathRelation:
+    """Classify the index/query path relationship (Table 2 cases)."""
+    try:
+        forward = contains(index_path, query_path)
+    except XPathUnsupportedError:
+        return PathRelation.NONE
+    if not forward:
+        return PathRelation.NONE
+    try:
+        backward = contains(query_path, index_path)
+    except XPathUnsupportedError:
+        backward = False
+    return PathRelation.EXACT if backward else PathRelation.CONTAINS
+
+
+def child_only_suffix_depth(query_path: ast.LocationPath,
+                            anchor_steps: int) -> int | None:
+    """Levels between the anchor step and the value node, when computable.
+
+    NodeID-level access derives the anchor node's ID from the value node's ID
+    by stripping that many levels — possible only when every step after the
+    anchor uses the child or attribute axis.  Returns ``None`` otherwise.
+    """
+    suffix = query_path.steps[anchor_steps:]
+    for step in suffix:
+        if step.axis not in (ast.Axis.CHILD, ast.Axis.ATTRIBUTE):
+            return None
+    return len(suffix)

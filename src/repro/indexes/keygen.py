@@ -1,0 +1,118 @@
+"""Per-record index key generation (§3.2-§3.3).
+
+"Index keys for the node ID index and XPath value indexes are generated per
+record, which fits existing infrastructure very well."  A record is
+self-contained: its header carries the context path (ancestor element names)
+and in-scope namespaces, so the index path can be evaluated against a single
+record — ancestors are replayed as synthetic events, proxies are *not*
+followed (packed-out subtrees produce their keys when their own records are
+processed).  "A simplified version of our streaming XPath algorithm
+(QuickXScan) is used to evaluate the XPath on each record."
+
+Known simplification (documented in DESIGN.md): a matched element whose text
+was split into a packed-out record contributes only the text present in its
+own record to the key value; the packer keeps text with its parent, so this
+arises only for oversized subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xdm.names import NameTable
+from repro.xmlstore import format as fmt
+from repro.xpath.qtree import QueryTree, compile_query
+from repro.xpath.quickxscan import QuickXScan
+from repro.xpath.values import Item
+
+from repro.indexes.definition import XPathIndexDefinition
+
+
+def record_local_events(record: bytes, names: NameTable
+                        ) -> Iterator[SaxEvent]:
+    """Virtual SAX events for one record only (ancestors synthesized,
+    proxies skipped)."""
+    header, body_start = fmt.decode_header(record)
+    yield SaxEvent(EventKind.DOC_START)
+    ancestors = [names.name(name_id) for name_id in header.context_path]
+    for local, uri in ancestors:
+        yield SaxEvent(EventKind.ELEM_START, local=local, uri=uri)
+    # In-scope namespaces of the context node apply to the whole record.
+    for prefix, uri_id in header.namespaces:
+        uri = names.uri(uri_id)
+        if uri:
+            yield SaxEvent(EventKind.NS, local=prefix, value=uri)
+
+    stack: list[tuple] = [("span", body_start, len(record),
+                           header.context_id)]
+    view = memoryview(record)
+    while stack:
+        item = stack.pop()
+        if item[0] == "end":
+            yield SaxEvent(EventKind.ELEM_END, local=item[1], uri=item[2])
+            continue
+        _, pos, end, parent = item
+        if pos >= end:
+            continue
+        entry = fmt.parse_entry(view, pos)
+        if entry.next_pos < end:
+            stack.append(("span", entry.next_pos, end, parent))
+        if entry.kind == fmt.EntryKind.PROXY:
+            continue  # per-record generation: never follow proxies
+        abs_id = parent + entry.rel_id
+        if entry.kind == fmt.EntryKind.ELEMENT:
+            local, uri = names.name(entry.name_id)
+            yield SaxEvent(EventKind.ELEM_START, local=local, uri=uri,
+                           node_id=abs_id)
+            stack.append(("end", local, uri))
+            stack.append(("span", entry.content_start, entry.content_end,
+                          abs_id))
+        elif entry.kind == fmt.EntryKind.TEXT:
+            yield SaxEvent(EventKind.TEXT, value=entry.text, node_id=abs_id)
+        elif entry.kind == fmt.EntryKind.ATTRIBUTE:
+            local, uri = names.name(entry.name_id)
+            yield SaxEvent(EventKind.ATTR, local=local, uri=uri,
+                           value=entry.text, node_id=abs_id)
+        elif entry.kind == fmt.EntryKind.NAMESPACE:
+            yield SaxEvent(EventKind.NS, local=entry.target,
+                           value=names.uri(entry.uri_id), node_id=abs_id)
+        elif entry.kind == fmt.EntryKind.COMMENT:
+            yield SaxEvent(EventKind.COMMENT, value=entry.text,
+                           node_id=abs_id)
+        else:  # PI
+            yield SaxEvent(EventKind.PI, local=entry.target,
+                           value=entry.text, node_id=abs_id)
+
+    for local, uri in reversed(ancestors):
+        yield SaxEvent(EventKind.ELEM_END, local=local, uri=uri)
+    yield SaxEvent(EventKind.DOC_END)
+
+
+def generate_keys(definition: XPathIndexDefinition, record: bytes,
+                  names: NameTable) -> list[tuple[bytes, Item]]:
+    """Evaluate the index path over one record.
+
+    Returns ``(encoded_key, item)`` pairs — zero, one or more per record
+    (the extended-index property the index manager must support, §3.3).
+    Nodes whose value does not convert to the key type are skipped.
+    """
+    query = _query_for(definition)
+    items = QuickXScan(query).run(record_local_events(record, names))
+    out = []
+    for item in items:
+        if item.node_id is None:
+            continue  # a synthesized ancestor matched; it has no identity here
+        key = definition.convert_key(item.string_value())
+        if key is not None:
+            out.append((key, item))
+    return out
+
+
+def _query_for(definition: XPathIndexDefinition) -> QueryTree:
+    # Compile once per definition and cache on the definition itself.
+    query = getattr(definition, "_compiled_query", None)
+    if query is None:
+        query = compile_query(definition.path, collect_result_values=True)
+        definition._compiled_query = query  # type: ignore[attr-defined]
+    return query

@@ -1,0 +1,155 @@
+"""XPath abstract syntax tree.
+
+The supported subset is the one QuickXScan targets (§4.2): location paths
+over the five forward axes (child, attribute, descendant, self,
+descendant-or-self) plus the parent axis (handled by rewrite, [24]);
+predicates with ``and``/``or``, general comparisons, arithmetic, literals and
+a core function library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Axis(enum.Enum):
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    ATTRIBUTE = "attribute"
+    SELF = "self"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    PARENT = "parent"
+
+    @classmethod
+    def parse(cls, name: str) -> "Axis":
+        from repro.errors import XPathUnsupportedError
+        try:
+            return cls(name)
+        except ValueError:
+            raise XPathUnsupportedError(
+                f"axis {name!r} is outside the supported subset") from None
+
+
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass(frozen=True)
+class NameTest:
+    """Element/attribute name test; ``local == '*'`` is a wildcard."""
+
+    local: str
+    prefix: str | None = None
+    #: Resolved namespace URI; filled by compile-time prefix resolution.
+    uri: str | None = None
+
+    def matches(self, local: str, uri: str) -> bool:
+        if self.local != "*" and self.local != local:
+            return False
+        if self.uri is None:
+            # Unresolved prefix-less test: no-namespace semantics.
+            return self.prefix is None and (self.local == "*" or uri == "")
+        return self.uri == "*" or self.uri == uri
+
+    def __str__(self) -> str:
+        return f"{self.prefix}:{self.local}" if self.prefix else self.local
+
+
+@dataclass(frozen=True)
+class KindTest:
+    """node() / text() / comment() / processing-instruction(['t'])."""
+
+    kind: str
+    target: str | None = None
+
+    def __str__(self) -> str:
+        inner = f"'{self.target}'" if self.target else ""
+        return f"{self.kind}({inner})"
+
+
+@dataclass
+class Step(Expr):
+    """One location step: axis, node test, predicates."""
+
+    axis: Axis
+    test: NameTest | KindTest
+    predicates: list["Expr"] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        axis = "@" if self.axis is Axis.ATTRIBUTE else f"{self.axis.value}::"
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{axis}{self.test}{preds}"
+
+
+@dataclass
+class LocationPath(Expr):
+    """A (possibly absolute) sequence of steps."""
+
+    absolute: bool
+    steps: list[Step]
+
+    def __str__(self) -> str:
+        body = "/".join(str(s) for s in self.steps)
+        return ("/" + body) if self.absolute else body
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """String or numeric literal."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"\"{self.value}\""
+        return repr(self.value)
+
+
+@dataclass
+class BinaryOp(Expr):
+    """or/and/comparison/arithmetic operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary minus."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass
+class FunctionCall(Expr):
+    """Core-library function application."""
+
+    name: str
+    args: list[Expr]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def self_node_step() -> Step:
+    """The step for ``.`` (self::node())."""
+    return Step(Axis.SELF, KindTest("node"))
+
+
+def parent_step() -> Step:
+    """The step for ``..`` (parent::node())."""
+    return Step(Axis.PARENT, KindTest("node"))
+
+
+def descendant_or_self_step() -> Step:
+    """The implicit step ``//`` abbreviates (descendant-or-self::node())."""
+    return Step(Axis.DESCENDANT_OR_SELF, KindTest("node"))

@@ -1,0 +1,32 @@
+"""XPath parse facade: lexer → LALR parser → rewrites → AST."""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.lang import ast
+from repro.lang.lalr import ParseError
+from repro.lang.rewrite import normalize
+from repro.lang.xpath_grammar import xpath_parser
+from repro.lang.xpath_lexer import tokenize
+
+
+def parse_xpath(text: str,
+                namespaces: dict[str, str] | None = None) -> ast.Expr:
+    """Parse and normalize an XPath expression."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise XPathSyntaxError("empty XPath expression")
+    try:
+        expr = xpath_parser().parse(tokens)
+    except ParseError as exc:
+        raise XPathSyntaxError(f"in {text!r}: {exc}") from None
+    return normalize(expr, namespaces)
+
+
+def parse_path(text: str,
+               namespaces: dict[str, str] | None = None) -> ast.LocationPath:
+    """Parse an XPath that must be a location path (index definitions)."""
+    expr = parse_xpath(text, namespaces)
+    if not isinstance(expr, ast.LocationPath):
+        raise XPathSyntaxError(f"{text!r} is not a location path")
+    return expr

@@ -1,0 +1,179 @@
+"""Query rewrite and normalization (§4, "semantics checking and
+transformation are performed to optimize the query by query rewrite").
+
+Three rewrites run at compile time:
+
+* **prefix resolution** — name tests get their namespace URI bound from the
+  statement's prefix declarations;
+* **parent-axis elimination** [24] — ``a/b/..`` becomes ``a[b]``, so the
+  QuickXScan base algorithm only ever sees forward axes (§4.2);
+* **descendant-or-self reduction** — a predicate-free ``//`` step followed
+  by a child step collapses into one descendant step ("in some cases the
+  descendant-or-self axis can be reduced to the descendant axis").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import XPathUnsupportedError
+from repro.lang import ast
+
+
+def resolve_prefixes(expr: ast.Expr,
+                     namespaces: dict[str, str] | None) -> ast.Expr:
+    """Bind namespace URIs into every name test (in place); returns expr."""
+    namespaces = namespaces or {}
+
+    def resolve_test(test):
+        if isinstance(test, ast.NameTest) and test.prefix is not None:
+            uri = namespaces.get(test.prefix)
+            if uri is None:
+                raise XPathUnsupportedError(
+                    f"undeclared namespace prefix {test.prefix!r}")
+            return replace(test, uri=uri)
+        return test
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.LocationPath):
+            for step in node.steps:
+                step.test = resolve_test(step.test)
+                for predicate in step.predicates:
+                    walk(predicate)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return expr
+
+
+def eliminate_parent_axis(expr: ast.Expr) -> ast.Expr:
+    """Rewrite parent steps into predicates on the preceding step [24]."""
+
+    def rewrite_path(path: ast.LocationPath) -> ast.LocationPath:
+        steps: list[ast.Step] = []
+        for step in path.steps:
+            for predicate in step.predicates:
+                walk(predicate)
+            if step.axis is not ast.Axis.PARENT:
+                steps.append(step)
+                continue
+            if step.predicates:
+                raise XPathUnsupportedError(
+                    "predicates on a parent step are not supported")
+            if not steps:
+                raise XPathUnsupportedError(
+                    "a leading parent step cannot be rewritten")
+            child = steps.pop()
+            if child.axis in (ast.Axis.DESCENDANT,
+                              ast.Axis.DESCENDANT_OR_SELF):
+                # X//t/..  ≡  X/descendant-or-self::*[t] — the parent of a
+                # descendant t is any self-or-descendant element with a t
+                # child.
+                parent_test = step.test if isinstance(step.test,
+                                                      ast.NameTest) \
+                    else ast.NameTest("*")
+                child_pred = ast.Step(ast.Axis.CHILD, child.test,
+                                      child.predicates)
+                steps.append(ast.Step(
+                    ast.Axis.DESCENDANT_OR_SELF, parent_test,
+                    [ast.LocationPath(False, [child_pred])]))
+                continue
+            if not steps:
+                raise XPathUnsupportedError(
+                    "parent step would escape the path root")
+            target = steps[-1]
+            # The popped step (with its predicates) becomes an existence
+            # predicate on the new last step.
+            target.predicates.append(ast.LocationPath(False, [child]))
+            # A named parent test further constrains the target's own test.
+            if isinstance(step.test, ast.NameTest):
+                target.test = _intersect_tests(target.test, step.test)
+        return ast.LocationPath(path.absolute, steps)
+
+    def walk(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.LocationPath):
+            rewritten = rewrite_path(node)
+            node.steps = rewritten.steps
+            node.absolute = rewritten.absolute
+            return node
+        if isinstance(node, ast.BinaryOp):
+            node.left = walk(node.left)
+            node.right = walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            node.operand = walk(node.operand)
+        elif isinstance(node, ast.FunctionCall):
+            node.args = [walk(a) for a in node.args]
+        return node
+
+    return walk(expr)
+
+
+def _intersect_tests(current, parent_test: ast.NameTest):
+    """Combine a step's test with a parent-step name constraint."""
+    if isinstance(current, ast.KindTest):
+        if current.kind in ("node",):
+            return parent_test
+        raise XPathUnsupportedError(
+            f"parent::{parent_test} over a {current.kind}() step")
+    if current.local == "*":
+        return parent_test
+    if parent_test.local == "*":
+        return current
+    if (current.local, current.uri) == (parent_test.local, parent_test.uri):
+        return current
+    # Contradictory names: the path can never match.  Keep a test that
+    # matches nothing rather than failing the compile.
+    return ast.NameTest("#impossible", uri="#none")
+
+
+def reduce_descendant_or_self(expr: ast.Expr) -> ast.Expr:
+    """Collapse ``//``+child pairs into descendant steps (in place)."""
+
+    def rewrite_path(path: ast.LocationPath) -> None:
+        steps: list[ast.Step] = []
+        for step in path.steps:
+            for predicate in step.predicates:
+                walk(predicate)
+            previous = steps[-1] if steps else None
+            if (previous is not None
+                    and previous.axis is ast.Axis.DESCENDANT_OR_SELF
+                    and isinstance(previous.test, ast.KindTest)
+                    and previous.test.kind == "node"
+                    and not previous.predicates
+                    and step.axis is ast.Axis.CHILD):
+                steps[-1] = ast.Step(ast.Axis.DESCENDANT, step.test,
+                                     step.predicates)
+                continue
+            steps.append(step)
+        path.steps = steps
+
+    def walk(node: ast.Expr) -> None:
+        if isinstance(node, ast.LocationPath):
+            rewrite_path(node)
+        elif isinstance(node, ast.BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, ast.UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, ast.FunctionCall):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return expr
+
+
+def normalize(expr: ast.Expr,
+              namespaces: dict[str, str] | None = None) -> ast.Expr:
+    """Run the full rewrite pipeline."""
+    expr = resolve_prefixes(expr, namespaces)
+    expr = eliminate_parent_axis(expr)
+    expr = reduce_descendant_or_self(expr)
+    return expr

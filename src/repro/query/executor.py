@@ -1,0 +1,175 @@
+"""Plan execution: scan, DocID-list, NodeID-list, ANDing/ORing (§4.3).
+
+Candidate generation follows the plan; every candidate is verified by
+re-evaluating the query — for DocID lists over the whole document, for NodeID
+lists over the self-contained anchor subtree (record header context replays
+the ancestors, §3.1's self-containment property).  "If the XPath expression
+of the index contains a query XPath expression but is not equivalent to it
+... re-evaluation of the query XPath expression on the document data is
+necessary."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.errors import PlanningError
+from repro.lang import ast
+from repro.xdm import nodeid
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xmlstore.store import XmlStore
+from repro.xpath.qtree import QueryTree, compile_query
+from repro.xpath.quickxscan import QuickXScan
+from repro.xpath.values import Item
+
+from repro.query.plan import AccessMethod, AccessPlan
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One result row: the document and the matched item."""
+
+    docid: int
+    item: Item
+
+
+class Executor:
+    """Executes access plans against one XML store."""
+
+    def __init__(self, store: XmlStore,
+                 stats: StatsRegistry | None = None) -> None:
+        self.store = store
+        self.stats = stats if stats is not None else GLOBAL_STATS
+
+    def execute(self, plan: AccessPlan) -> list[QueryMatch]:
+        query = compile_query(plan.path)
+        if plan.method is AccessMethod.FULL_SCAN:
+            return self._full_scan(plan, query)
+        if plan.method is AccessMethod.DOCID_LIST:
+            return self._docid_list(plan, query)
+        if plan.method is AccessMethod.NODEID_LIST:
+            return self._nodeid_list(plan, query)
+        raise PlanningError(f"unknown access method {plan.method}")
+
+    # -- full scan ----------------------------------------------------------------
+
+    def _full_scan(self, plan: AccessPlan, query: QueryTree
+                   ) -> list[QueryMatch]:
+        out: list[QueryMatch] = []
+        for docid in self.store.docids():
+            self.stats.add("exec.docs_evaluated")
+            events = self.store.document(docid).events()
+            for item in QuickXScan(query, stats=self.stats).run(events):
+                out.append(QueryMatch(docid, item))
+        return out
+
+    # -- DocID list -------------------------------------------------------------------
+
+    def _docid_candidates(self, plan: AccessPlan) -> list[int]:
+        candidate_set: set[int] | None = None
+        for group in plan.source_groups:
+            group_docs: set[int] = set()
+            for source in group:
+                self.stats.add("exec.index_probes")
+                for hit in source.index.lookup_op(source.op, source.literal):
+                    group_docs.add(hit.docid)
+            # DocID ANDing across groups, ORing within a group.
+            if candidate_set is None:
+                candidate_set = group_docs
+            else:
+                candidate_set &= group_docs
+        self.stats.add("exec.candidates", len(candidate_set or ()))
+        return sorted(candidate_set or ())
+
+    def _docid_list(self, plan: AccessPlan, query: QueryTree
+                    ) -> list[QueryMatch]:
+        out: list[QueryMatch] = []
+        for docid in self._docid_candidates(plan):
+            self.stats.add("exec.docs_evaluated")
+            events = self.store.document(docid).events()
+            items = QuickXScan(query, stats=self.stats).run(events)
+            if not items and plan.exact:
+                self.stats.add("exec.exactness_misses")
+            for item in items:
+                out.append(QueryMatch(docid, item))
+        return out
+
+    # -- NodeID list -------------------------------------------------------------------
+
+    def _anchor_candidates(self, plan: AccessPlan
+                           ) -> list[tuple[int, bytes]]:
+        candidate_set: set[tuple[int, bytes]] | None = None
+        for group in plan.source_groups:
+            group_anchors: set[tuple[int, bytes]] = set()
+            for source in group:
+                self.stats.add("exec.index_probes")
+                depth = source.suffix_depth
+                if depth is None:
+                    raise PlanningError(
+                        "NodeID-list plan without derivable anchors")
+                for hit in source.index.lookup_op(source.op, source.literal):
+                    anchor = hit.node_id
+                    try:
+                        for _ in range(depth):
+                            anchor = nodeid.parent(anchor)
+                    except Exception:
+                        continue  # value node too shallow: cannot match
+                    group_anchors.add((hit.docid, anchor))
+            if candidate_set is None:
+                candidate_set = group_anchors
+            else:
+                candidate_set &= group_anchors  # NodeID ANDing
+        self.stats.add("exec.candidates", len(candidate_set or ()))
+        return sorted(candidate_set or ())
+
+    def _nodeid_list(self, plan: AccessPlan, query: QueryTree
+                     ) -> list[QueryMatch]:
+        out: list[QueryMatch] = []
+        for docid, anchor in self._anchor_candidates(plan):
+            self.stats.add("exec.anchors_verified")
+            items = self._verify_anchor(docid, anchor, query)
+            if not items and plan.exact:
+                self.stats.add("exec.exactness_misses")
+            for item in items:
+                out.append(QueryMatch(docid, item))
+        out.sort(key=lambda match: (match.docid, match.item.order))
+        return out
+
+    def _verify_anchor(self, docid: int, anchor: bytes,
+                       query: QueryTree) -> list[Item]:
+        """Re-evaluate the query over the anchor's self-contained context."""
+        doc = self.store.document(docid)
+        try:
+            ancestors = doc.ancestry(anchor)
+        except Exception:
+            return []  # anchor does not exist (stale/foreign hit)
+        # Replay ancestors from record-header context, then the subtree.
+        # The anchor's own element is the first event of node_events.
+        ancestor_names = ancestors  # root-first (local, uri) pairs
+
+        def stream():
+            yield SaxEvent(EventKind.DOC_START)
+            for local, uri in ancestor_names:
+                yield SaxEvent(EventKind.ELEM_START, local=local, uri=uri)
+            yield from doc.node_events(anchor)
+            for local, uri in reversed(ancestor_names):
+                yield SaxEvent(EventKind.ELEM_END, local=local, uri=uri)
+            yield SaxEvent(EventKind.DOC_END)
+
+        items = QuickXScan(query, stats=self.stats).run(stream())
+        # Keep only the anchor's own match: nested matches inside the
+        # subtree are separate candidates (verified via their own index
+        # hits), so counting them here would duplicate results.
+        return [item for item in items if item.node_id == anchor]
+
+
+def run_query(store: XmlStore, plan: AccessPlan,
+              stats: StatsRegistry | None = None) -> list[QueryMatch]:
+    """One-shot plan execution."""
+    return Executor(store, stats=stats).execute(plan)
+
+
+def scan_plan(path: ast.LocationPath) -> AccessPlan:
+    """A bare full-scan plan (no planner required)."""
+    return AccessPlan(AccessMethod.FULL_SCAN, path)

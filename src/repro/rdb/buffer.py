@@ -1,0 +1,117 @@
+"""Buffer pool: LRU page cache between the engine and the simulated disk.
+
+Components never touch :class:`~repro.rdb.storage.Disk` directly; they fetch
+pages through the pool so experiments can separate logical page touches
+(``buffer.hits`` + ``buffer.misses``) from physical I/O (``disk.page_*``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.stats import StatsRegistry
+from repro.errors import BufferPoolError
+from repro.rdb.storage import Disk
+
+
+class _Frame:
+    __slots__ = ("data", "pin_count", "dirty")
+
+    def __init__(self, data: bytearray) -> None:
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of disk pages with pin/unpin protocol."""
+
+    def __init__(self, disk: Disk, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise BufferPoolError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats: StatsRegistry = disk.stats
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    @property
+    def page_size(self) -> int:
+        return self.disk.page_size
+
+    def new_page(self) -> tuple[int, bytearray]:
+        """Allocate a disk page and return it pinned (and dirty)."""
+        page_id = self.disk.allocate_page()
+        self._make_room()
+        frame = _Frame(bytearray(self.page_size))
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[page_id] = frame
+        return page_id, frame.data
+
+    def fetch(self, page_id: int) -> bytearray:
+        """Pin page ``page_id`` and return its (mutable) frame bytes."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.add("buffer.hits")
+            self._frames.move_to_end(page_id)
+        else:
+            self.stats.add("buffer.misses")
+            self._make_room()
+            frame = _Frame(bytearray(self.disk.read_page(page_id)))
+            self._frames[page_id] = frame
+        frame.pin_count += 1
+        return frame.data
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin on ``page_id``; ``dirty`` marks it modified."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    @contextmanager
+    def page(self, page_id: int, write: bool = False) -> Iterator[bytearray]:
+        """Context manager pairing :meth:`fetch` with :meth:`unpin`."""
+        data = self.fetch(page_id)
+        try:
+            yield data
+        finally:
+            self.unpin(page_id, dirty=write)
+
+    def flush_page(self, page_id: int) -> None:
+        """Write ``page_id`` back to disk if it is resident and dirty."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self.disk.write_page(page_id, bytes(frame.data))
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write every dirty resident page back to disk."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def evict_all(self) -> None:
+        """Flush then drop every unpinned frame (simulates pool restart)."""
+        self.flush_all()
+        for page_id in list(self._frames):
+            if self._frames[page_id].pin_count == 0:
+                del self._frames[page_id]
+
+    def resident(self, page_id: int) -> bool:
+        """Whether ``page_id`` currently occupies a frame."""
+        return page_id in self._frames
+
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                self.stats.add("buffer.evictions")
+                if frame.dirty:
+                    self.disk.write_page(page_id, bytes(frame.data))
+                del self._frames[page_id]
+                return
+        raise BufferPoolError("all buffer frames are pinned")

@@ -1,0 +1,87 @@
+"""Simulated external storage: a page-addressed device with I/O accounting.
+
+The paper's experiments ran on real DASD behind DB2's storage manager; here
+the device is an in-memory page array whose read/write counters stand in for
+physical I/O (see DESIGN.md substitution table).  The device can optionally
+persist itself to a file so recovery tests can simulate a crash/restart.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.errors import StorageError
+
+
+class Disk:
+    """Page-addressed storage device.
+
+    Pages are fixed-size byte strings addressed by a dense integer id.
+    ``read_page``/``write_page`` maintain the ``disk.page_reads`` /
+    ``disk.page_writes`` counters that the benchmarks report as physical I/O.
+    """
+
+    def __init__(self, page_size: int = 4096, stats: StatsRegistry | None = None) -> None:
+        if page_size < 64:
+            raise StorageError(f"page size {page_size} is too small")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else GLOBAL_STATS
+        self._pages: list[bytes] = []
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return len(self._pages)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total device bytes in allocated pages."""
+        return len(self._pages) * self.page_size
+
+    def allocate_page(self) -> int:
+        """Allocate a fresh zeroed page; returns its page id."""
+        self._pages.append(bytes(self.page_size))
+        return len(self._pages) - 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Physically read page ``page_id``."""
+        self._check(page_id)
+        self.stats.add("disk.page_reads")
+        return self._pages[page_id]
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Physically write page ``page_id``."""
+        self._check(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"write of {len(data)} bytes to page of size {self.page_size}")
+        self.stats.add("disk.page_writes")
+        self._pages[page_id] = bytes(data)
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(f"page {page_id} is not allocated")
+
+    # -- crash/restart support -------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the device image to ``path`` (used by recovery tests)."""
+        with open(path, "wb") as fh:
+            fh.write(self.page_size.to_bytes(4, "big"))
+            for page in self._pages:
+                fh.write(page)
+
+    @classmethod
+    def load(cls, path: str, stats: StatsRegistry | None = None) -> "Disk":
+        """Reload a device image written by :meth:`save`."""
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            page_size = int.from_bytes(fh.read(4), "big")
+            disk = cls(page_size, stats=stats)
+            n_pages, rem = divmod(size - 4, page_size)
+            if rem:
+                raise StorageError(f"corrupt device image {path!r}")
+            for _ in range(n_pages):
+                disk._pages.append(fh.read(page_size))
+        return disk

@@ -1,0 +1,128 @@
+"""Transactions: lock scope, logging scope, and logical undo.
+
+A thin transaction layer over :mod:`repro.rdb.locks` and
+:mod:`repro.rdb.wal`.  Updates register *undo actions* (closures that
+logically reverse the change); abort runs them in reverse order, mirroring
+the standard relational design the paper builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.errors import TransactionError
+from repro.rdb.locks import LockManager, LockMode
+from repro.rdb.wal import LogManager, LogOp
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class IsolationLevel(enum.Enum):
+    """SQL isolation levels, "naturally extended to cover XML columns" (§5.1).
+
+    READ_COMMITTED releases read locks eagerly; REPEATABLE_READ holds them to
+    commit; UNCOMMITTED_READ takes no read locks at all (and is the case that
+    *requires* DocID locking for direct index access, §5.1).
+    """
+
+    UNCOMMITTED_READ = "ur"
+    READ_COMMITTED = "cs"
+    REPEATABLE_READ = "rr"
+
+
+class Transaction:
+    """One unit of work; obtained from :class:`TransactionManager`."""
+
+    def __init__(self, txn_id: int, manager: "TransactionManager",
+                 isolation: IsolationLevel) -> None:
+        self.txn_id = txn_id
+        self.isolation = isolation
+        self._manager = manager
+        self.state = TxnState.ACTIVE
+        self._undo: list[Callable[[], None]] = []
+
+    # -- locking -------------------------------------------------------------
+
+    def try_lock(self, resource: object, mode: LockMode) -> bool:
+        """Attempt to lock ``resource``; False means the caller must wait."""
+        self._check_active()
+        return self._manager.locks.try_acquire(self.txn_id, resource, mode)
+
+    def lock(self, resource: object, mode: LockMode) -> None:
+        """Lock ``resource`` or raise (single-threaded convenience path)."""
+        if not self.try_lock(resource, mode):
+            raise TransactionError(
+                f"txn {self.txn_id} blocked on {resource!r} "
+                f"(use the scheduler for contended workloads)")
+
+    # -- logging and undo -----------------------------------------------------
+
+    def log(self, op: LogOp, target: str = "", payload: bytes = b"",
+            extra: bytes = b"") -> None:
+        """Write a redo record under this transaction."""
+        self._check_active()
+        self._manager.log.append(self.txn_id, op, target, payload, extra)
+
+    def on_abort(self, action: Callable[[], None]) -> None:
+        """Register a logical undo action (run in reverse order on abort)."""
+        self._check_active()
+        self._undo.append(action)
+
+    # -- completion -------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._check_active()
+        self._manager.log.append(self.txn_id, LogOp.COMMIT)
+        self.state = TxnState.COMMITTED
+        self._undo.clear()
+        self._manager._finish(self)
+
+    def abort(self) -> None:
+        self._check_active()
+        for action in reversed(self._undo):
+            action()
+        self._undo.clear()
+        self._manager.log.append(self.txn_id, LogOp.ABORT)
+        self.state = TxnState.ABORTED
+        self._manager.stats.add("txn.aborts")
+        self._manager._finish(self)
+
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"txn {self.txn_id} is {self.state.value}, not active")
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.txn_id}, {self.state.value})"
+
+
+class TransactionManager:
+    """Creates transactions and owns the shared lock and log managers."""
+
+    def __init__(self, locks: LockManager | None = None,
+                 log: LogManager | None = None,
+                 stats: StatsRegistry | None = None) -> None:
+        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.locks = locks if locks is not None else LockManager(self.stats)
+        self.log = log if log is not None else LogManager(self.stats)
+        self._next_id = 1
+        self.active: dict[int, Transaction] = {}
+
+    def begin(self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED
+              ) -> Transaction:
+        txn = Transaction(self._next_id, self, isolation)
+        self._next_id += 1
+        self.active[txn.txn_id] = txn
+        self.log.append(txn.txn_id, LogOp.BEGIN)
+        self.stats.add("txn.begun")
+        return txn
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.txn_id)
+        self.active.pop(txn.txn_id, None)

@@ -1,0 +1,134 @@
+"""Synthetic XML workload generators.
+
+The paper's own examples define the document shapes the experiments need:
+the ``/Catalog/Categories/Product`` collection of Table 2, the recursive
+``<a>`` nesting of the Fig. 7 state-explosion discussion, and the
+``//b/s[.//t = "XML" and f/@w > 300]`` pattern of Fig. 6.  All generators are
+seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = ("alpha bravo charlie delta echo foxtrot golf hotel india juliet "
+          "kilo lima mike november oscar papa quebec romeo sierra tango "
+          "uniform victor whiskey xray yankee zulu").split()
+
+
+def _words(rng: random.Random, count: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def catalog_document(n_products: int, seed: int = 0,
+                     description_words: int = 6) -> str:
+    """A Table-2-shaped product catalog.
+
+    Prices are uniform in [10, 500), discounts in [0, 0.5); each product has
+    ``@id``, ``ProductName``, ``RegPrice``, ``Discount`` and a free-text
+    ``Description``.
+    """
+    rng = random.Random(seed)
+    parts = ["<Catalog><Categories>"]
+    for i in range(n_products):
+        price = round(rng.uniform(10, 500), 2)
+        discount = round(rng.uniform(0, 0.5), 3)
+        parts.append(
+            f'<Product id="p{seed}-{i}">'
+            f"<ProductName>{rng.choice(_WORDS).title()}{i}</ProductName>"
+            f"<RegPrice>{price}</RegPrice>"
+            f"<Discount>{discount}</Discount>"
+            f"<Description>{_words(rng, description_words)}</Description>"
+            f"</Product>")
+    parts.append("</Categories></Catalog>")
+    return "".join(parts)
+
+
+def recursive_document(depth: int, leaf_text: str = "x",
+                       name: str = "a") -> str:
+    """``<a><a>...<a>x</a>...</a></a>`` — recursion degree = depth."""
+    return (f"<{name}>" * depth) + leaf_text + (f"</{name}>" * depth)
+
+
+def figure6_document(n_blocks: int, seed: int = 0,
+                     xml_fraction: float = 0.5,
+                     heavy_fraction: float = 0.5) -> str:
+    """Documents matching the paper's Fig. 6 query shape.
+
+    Each block is ``<b><s><t>...</t><f w='...'>...</f></s></b>``; a fraction
+    of the ``t`` values is "XML" and a fraction of the ``w`` weights exceeds
+    300, so ``//b/s[.//t = "XML" and f/@w > 300]`` selects a controllable
+    subset.  Some blocks nest an extra ``b`` level to exercise recursion.
+    """
+    rng = random.Random(seed)
+    parts = ["<r>"]
+    for i in range(n_blocks):
+        t_value = "XML" if rng.random() < xml_fraction else "SGML"
+        weight = rng.randint(301, 900) if rng.random() < heavy_fraction \
+            else rng.randint(1, 300)
+        block = (f"<s><t>{t_value}</t>"
+                 f'<f w="{weight}">{_words(rng, 3)}</f></s>')
+        if rng.random() < 0.2:
+            parts.append(f"<b><b>{block}</b></b>")
+        else:
+            parts.append(f"<b>{block}</b>")
+    parts.append("</r>")
+    return "".join(parts)
+
+
+def random_tree(n_elements: int, seed: int = 0, max_children: int = 5,
+                text_words: int = 3, tag_pool: tuple[str, ...] = (
+                    "item", "entry", "node", "record", "group")) -> str:
+    """A random element tree with ~``n_elements`` elements (E1-E3 fodder).
+
+    Built breadth-biased with seeded randomness: every element gets a text
+    child, interior elements fan out up to ``max_children``.
+    """
+    rng = random.Random(seed)
+    budget = [n_elements - 1]
+
+    def build(depth: int) -> str:
+        tag = rng.choice(tag_pool)
+        children = []
+        if budget[0] > 0 and depth < 12:
+            fanout = rng.randint(0, max_children)
+            for _ in range(fanout):
+                if budget[0] <= 0:
+                    break
+                budget[0] -= 1
+                children.append(build(depth + 1))
+        body = "".join(children) if children else _words(rng, text_words)
+        return f"<{tag}>{body}</{tag}>"
+
+    inner = []
+    while budget[0] > 0:
+        budget[0] -= 1
+        inner.append(build(1))
+    return "<root>" + "".join(inner) + "</root>"
+
+
+def wide_document(n_children: int, payload_words: int = 4,
+                  seed: int = 0) -> str:
+    """One root with many flat children (packing-factor experiments)."""
+    rng = random.Random(seed)
+    parts = ["<root>"]
+    for i in range(n_children):
+        parts.append(f'<row n="{i}">{_words(rng, payload_words)}</row>')
+    parts.append("</root>")
+    return "".join(parts)
+
+
+def employee_rows(n_rows: int, seed: int = 0) -> list[tuple]:
+    """Relational rows for the Fig. 5 constructor workload:
+    (id, name, hire date, department)."""
+    rng = random.Random(seed)
+    departments = ["Accting", "Eng", "Sales", "Legal", "Ops"]
+    rows = []
+    for i in range(n_rows):
+        first = rng.choice(_WORDS).title()
+        last = rng.choice(_WORDS).title()
+        hire = f"19{rng.randint(70, 99)}-{rng.randint(1, 12):02d}-" \
+               f"{rng.randint(1, 28):02d}"
+        rows.append((1000 + i, f"{first} {last}", hire,
+                     rng.choice(departments)))
+    return rows

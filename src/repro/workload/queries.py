@@ -1,0 +1,47 @@
+"""Canned query/index workloads (Table 2 and Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Table2Case:
+    """One row of the paper's Table 2."""
+
+    label: str
+    access_method: str
+    query: str
+    index_paths: tuple[tuple[str, str, str], ...]  # (name, path, type)
+
+
+TABLE2_CASES: tuple[Table2Case, ...] = (
+    Table2Case(
+        label="(1) DocID/NodeID list",
+        access_method="list",
+        query="/Catalog/Categories/Product[RegPrice > 100]",
+        index_paths=(("ix_regprice",
+                      "/Catalog/Categories/Product/RegPrice", "double"),),
+    ),
+    Table2Case(
+        label="(2) DocID/NodeID filtering list",
+        access_method="filtering",
+        query="/Catalog/Categories/Product[Discount > 0.1]",
+        index_paths=(("ix_discount", "//Discount", "double"),),
+    ),
+    Table2Case(
+        label="(3) DocID/NodeID ANDing/ORing",
+        access_method="anding",
+        query=("/Catalog/Categories/Product[RegPrice > 100 and "
+               "Discount > 0.1]"),
+        index_paths=(("ix_regprice",
+                      "/Catalog/Categories/Product/RegPrice", "double"),
+                     ("ix_discount", "//Discount", "double")),
+    ),
+)
+
+#: The Fig. 6 example path expression.
+FIGURE6_QUERY = '//b/s[.//t = "XML" and f/@w > 300]'
+
+#: The recursive pattern of the Fig. 7 active-state discussion.
+RECURSIVE_QUERY = "//a//a//a"

@@ -1,0 +1,116 @@
+"""Database-wide integer encoding of XML names.
+
+"In the stored XML data, all the names for elements, attributes, and
+namespaces are encoded using integers across the entire database" (§3.1).
+The :class:`NameTable` interns ``(namespace-uri, local-name)`` pairs and
+namespace URIs, and is persisted through the catalog so name ids are stable
+across restarts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.rdb import codec
+
+#: Reserved URI id meaning "no namespace".
+NO_NAMESPACE = 0
+
+
+class NameTable:
+    """Bidirectional mapping between names and small integers."""
+
+    def __init__(self) -> None:
+        self._uri_to_id: dict[str, int] = {"": NO_NAMESPACE}
+        self._uris: list[str] = [""]
+        self._name_to_id: dict[tuple[int, str], int] = {}
+        self._names: list[tuple[int, str]] = []
+
+    # -- namespace URIs ----------------------------------------------------
+
+    def intern_uri(self, uri: str) -> int:
+        """Intern a namespace URI, returning its id."""
+        found = self._uri_to_id.get(uri)
+        if found is not None:
+            return found
+        uri_id = len(self._uris)
+        self._uris.append(uri)
+        self._uri_to_id[uri] = uri_id
+        return uri_id
+
+    def uri(self, uri_id: int) -> str:
+        """The URI string for ``uri_id``."""
+        try:
+            return self._uris[uri_id]
+        except IndexError:
+            raise CatalogError(f"unknown namespace-uri id {uri_id}") from None
+
+    # -- qualified names -----------------------------------------------------
+
+    def intern_name(self, local: str, uri: str = "") -> int:
+        """Intern a qualified name, returning its id."""
+        uri_id = self.intern_uri(uri)
+        key = (uri_id, local)
+        found = self._name_to_id.get(key)
+        if found is not None:
+            return found
+        name_id = len(self._names)
+        self._names.append(key)
+        self._name_to_id[key] = name_id
+        return name_id
+
+    def lookup_name(self, local: str, uri: str = "") -> int | None:
+        """Id of an already-interned name, or None."""
+        uri_id = self._uri_to_id.get(uri)
+        if uri_id is None:
+            return None
+        return self._name_to_id.get((uri_id, local))
+
+    def name(self, name_id: int) -> tuple[str, str]:
+        """``(local, uri)`` for ``name_id``."""
+        try:
+            uri_id, local = self._names[name_id]
+        except IndexError:
+            raise CatalogError(f"unknown name id {name_id}") from None
+        return local, self._uris[uri_id]
+
+    def local_name(self, name_id: int) -> str:
+        """Just the local part of ``name_id``."""
+        return self.name(name_id)[0]
+
+    @property
+    def name_count(self) -> int:
+        return len(self._names)
+
+    # -- persistence ----------------------------------------------------------
+
+    def encode(self) -> bytes:
+        out = bytearray()
+        codec.write_uvarint(out, len(self._uris))
+        for uri in self._uris:
+            codec.write_str(out, uri)
+        codec.write_uvarint(out, len(self._names))
+        for uri_id, local in self._names:
+            codec.write_uvarint(out, uri_id)
+            codec.write_str(out, local)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview) -> "NameTable":
+        table = cls.__new__(cls)
+        pos = 0
+        n_uris, pos = codec.read_uvarint(data, pos)
+        table._uris = []
+        table._uri_to_id = {}
+        for uri_id in range(n_uris):
+            uri, pos = codec.read_str(data, pos)
+            table._uris.append(uri)
+            table._uri_to_id[uri] = uri_id
+        n_names, pos = codec.read_uvarint(data, pos)
+        table._names = []
+        table._name_to_id = {}
+        for name_id in range(n_names):
+            uri_id, pos = codec.read_uvarint(data, pos)
+            local, pos = codec.read_str(data, pos)
+            table._names.append((uri_id, local))
+            table._name_to_id[(uri_id, local)] = name_id
+        return table

@@ -1,0 +1,269 @@
+"""In-memory XQuery-data-model trees.
+
+"There are seven kinds of nodes in the XQuery data model" (§3.1): document,
+element, attribute, text, namespace, processing-instruction and comment — all
+seven are represented here.  In-memory trees are *not* the storage format
+(the engine packs records directly from token streams, §3.2); they serve as
+query results, constructed values, the DOM-baseline representation, and test
+fixtures.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+from repro.errors import XmlError
+
+
+class NodeKind(enum.Enum):
+    """The seven XQuery-data-model node kinds."""
+
+    DOCUMENT = "document"
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    NAMESPACE = "namespace"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+    COMMENT = "comment"
+
+
+class Node:
+    """Base class of all tree nodes."""
+
+    kind: NodeKind
+
+    def __init__(self) -> None:
+        self.parent: Optional[Node] = None
+        #: Dewey absolute node ID once assigned (stored trees / results).
+        self.node_id: bytes | None = None
+
+    # -- XDM accessors ------------------------------------------------------
+
+    def string_value(self) -> str:
+        """The XDM string value (concatenated descendant text for
+        documents/elements; the literal value otherwise)."""
+        raise NotImplementedError
+
+    def children(self) -> list["Node"]:
+        """Child nodes in document order (empty for leaves)."""
+        return []
+
+    def descendants_or_self(self) -> Iterator["Node"]:
+        """Pre-order walk: self, then attributes/namespaces, then children."""
+        yield self
+        for child in self._ordered_members():
+            yield from child.descendants_or_self()
+
+    def _ordered_members(self) -> list["Node"]:
+        return self.children()
+
+    @property
+    def name(self) -> tuple[str, str] | None:
+        """``(local, uri)`` for named kinds, else None."""
+        return None
+
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def __repr__(self) -> str:
+        name = self.name
+        label = name[0] if name else ""
+        return f"<{self.kind.value} {label}>"
+
+
+class DocumentNode(Node):
+    kind = NodeKind.DOCUMENT
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._children: list[Node] = []
+
+    def append(self, child: "Node") -> "Node":
+        if child.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+            raise XmlError(f"{child.kind.value} cannot be a document child")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def children(self) -> list[Node]:
+        return list(self._children)
+
+    def document_element(self) -> "ElementNode":
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                return child
+        raise XmlError("document has no element child")
+
+    def string_value(self) -> str:
+        return "".join(c.string_value() for c in self._children
+                       if c.kind in (NodeKind.ELEMENT, NodeKind.TEXT))
+
+
+class ElementNode(Node):
+    kind = NodeKind.ELEMENT
+
+    def __init__(self, local: str, uri: str = "") -> None:
+        super().__init__()
+        self.local = local
+        self.uri = uri
+        self.attributes: list[AttributeNode] = []
+        self.namespaces: list[NamespaceNode] = []
+        self._children: list[Node] = []
+        #: Type annotation (name id of the schema type) when validated.
+        self.type_annotation: str | None = None
+
+    @property
+    def name(self) -> tuple[str, str]:
+        return (self.local, self.uri)
+
+    def set_attribute(self, local: str, value: str, uri: str = "") -> "AttributeNode":
+        for attr in self.attributes:
+            if (attr.local, attr.uri) == (local, uri):
+                raise XmlError(f"duplicate attribute {local!r}")
+        attr = AttributeNode(local, value, uri)
+        attr.parent = self
+        self.attributes.append(attr)
+        return attr
+
+    def get_attribute(self, local: str, uri: str = "") -> Optional["AttributeNode"]:
+        for attr in self.attributes:
+            if (attr.local, attr.uri) == (local, uri):
+                return attr
+        return None
+
+    def declare_namespace(self, prefix: str, uri: str) -> "NamespaceNode":
+        ns = NamespaceNode(prefix, uri)
+        ns.parent = self
+        self.namespaces.append(ns)
+        return ns
+
+    def append(self, child: "Node") -> "Node":
+        if child.kind is NodeKind.ATTRIBUTE:
+            raise XmlError("attributes are not element children; use set_attribute")
+        if child.kind is NodeKind.DOCUMENT:
+            raise XmlError("a document node cannot be nested")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def children(self) -> list[Node]:
+        return list(self._children)
+
+    def _ordered_members(self) -> list[Node]:
+        # Attributes precede children in the traversal order the storage
+        # layer uses for node-ID assignment.
+        return [*self.namespaces, *self.attributes, *self._children]
+
+    def string_value(self) -> str:
+        return "".join(c.string_value() for c in self._children
+                       if c.kind in (NodeKind.ELEMENT, NodeKind.TEXT))
+
+    def elements(self, local: str | None = None) -> list["ElementNode"]:
+        """Child elements, optionally filtered by local name."""
+        return [c for c in self._children
+                if isinstance(c, ElementNode) and (local is None or c.local == local)]
+
+    def text(self) -> str:
+        """Shortcut for the concatenated text value."""
+        return self.string_value()
+
+
+class AttributeNode(Node):
+    kind = NodeKind.ATTRIBUTE
+
+    def __init__(self, local: str, value: str, uri: str = "") -> None:
+        super().__init__()
+        self.local = local
+        self.uri = uri
+        self.value = value
+
+    @property
+    def name(self) -> tuple[str, str]:
+        return (self.local, self.uri)
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class TextNode(Node):
+    kind = NodeKind.TEXT
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class NamespaceNode(Node):
+    kind = NodeKind.NAMESPACE
+
+    def __init__(self, prefix: str, uri: str) -> None:
+        super().__init__()
+        self.prefix = prefix
+        self.uri = uri
+
+    @property
+    def name(self) -> tuple[str, str]:
+        return (self.prefix, "")
+
+    def string_value(self) -> str:
+        return self.uri
+
+
+class ProcessingInstructionNode(Node):
+    kind = NodeKind.PROCESSING_INSTRUCTION
+
+    def __init__(self, target: str, value: str) -> None:
+        super().__init__()
+        self.target = target
+        self.value = value
+
+    @property
+    def name(self) -> tuple[str, str]:
+        return (self.target, "")
+
+    def string_value(self) -> str:
+        return self.value
+
+
+class CommentNode(Node):
+    kind = NodeKind.COMMENT
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value
+
+
+# -- convenience constructors used heavily by tests and examples -------------
+
+def element(local: str, attrs: dict[str, str] | None = None,
+            children: list[Node | str] | None = None,
+            uri: str = "") -> ElementNode:
+    """Build an element with attributes and children in one call."""
+    node = ElementNode(local, uri)
+    for name, value in (attrs or {}).items():
+        node.set_attribute(name, value)
+    for child in children or []:
+        node.append(TextNode(child) if isinstance(child, str) else child)
+    return node
+
+
+def document(root: ElementNode) -> DocumentNode:
+    """Wrap ``root`` in a document node."""
+    doc = DocumentNode()
+    doc.append(root)
+    return doc
+
+
+def node_count(node: Node) -> int:
+    """Number of nodes in the subtree (self + attributes + descendants)."""
+    return sum(1 for _ in node.descendants_or_self())

@@ -1,0 +1,159 @@
+"""XML serialization (Fig. 8, "serialization services").
+
+The serializer is one of the three shared runtime tasks: it consumes virtual
+SAX events from *any* iterator (token stream, persistent records, constructed
+data) and produces the textual XML string, generating namespace declarations
+on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XmlError
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xdm.nodes import Node
+from repro.xdm.events import events_from_tree
+
+_XML_NS = "http://www.w3.org/XML/1998/namespace"
+
+
+def _escape_text(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _escape_attr(text: str) -> str:
+    return (_escape_text(text).replace('"', "&quot;")
+            .replace("\n", "&#10;").replace("\t", "&#9;"))
+
+
+class _PendingElement:
+    __slots__ = ("local", "uri", "attrs", "declarations")
+
+    def __init__(self, local: str, uri: str) -> None:
+        self.local = local
+        self.uri = uri
+        self.attrs: list[tuple[str, str, str]] = []
+        self.declarations: list[tuple[str, str]] = []
+
+
+class Serializer:
+    """Event-stream to XML text."""
+
+    def __init__(self, omit_declaration: bool = True) -> None:
+        self.omit_declaration = omit_declaration
+
+    def serialize(self, events: Iterable[SaxEvent]) -> str:
+        out: list[str] = []
+        if not self.omit_declaration:
+            out.append('<?xml version="1.0" encoding="UTF-8"?>')
+        # Namespace scopes: prefix -> uri.
+        scopes: list[dict[str, str]] = [{"": "", "xml": _XML_NS}]
+        open_names: list[tuple[str, str]] = []  # (prefix, local) of open tags
+        pending: _PendingElement | None = None
+        generated = 0
+
+        def flush_pending(self_closing: bool = False) -> None:
+            nonlocal pending, generated
+            if pending is None:
+                return
+            scope = dict(scopes[-1])
+            declarations = list(pending.declarations)
+            for prefix, uri in declarations:
+                scope[prefix] = uri
+
+            def prefix_for(uri: str, for_attribute: bool) -> str:
+                nonlocal generated
+                if uri == _XML_NS:
+                    return "xml"
+                if not for_attribute and scope.get("") == uri:
+                    return ""
+                if uri:
+                    for known_prefix, known_uri in scope.items():
+                        if known_uri == uri and known_prefix not in ("", "xml"):
+                            return known_prefix
+                if not for_attribute:
+                    # (Re)declare the default namespace for this element.
+                    declarations.append(("", uri))
+                    scope[""] = uri
+                    return ""
+                # An attribute in a namespace needs a real prefix.
+                generated += 1
+                prefix = f"ns{generated}"
+                declarations.append((prefix, uri))
+                scope[prefix] = uri
+                return prefix
+
+            elem_prefix = prefix_for(pending.uri, for_attribute=False)
+            tag = f"{elem_prefix}:{pending.local}" if elem_prefix else pending.local
+            parts = [f"<{tag}"]
+            attr_texts = []
+            for local, uri, value in pending.attrs:
+                if uri:
+                    a_prefix = prefix_for(uri, for_attribute=True)
+                    attr_texts.append(f'{a_prefix}:{local}="{_escape_attr(value)}"')
+                else:
+                    attr_texts.append(f'{local}="{_escape_attr(value)}"')
+            for prefix, uri in sorted(set(declarations)):
+                name = f"xmlns:{prefix}" if prefix else "xmlns"
+                parts.append(f' {name}="{_escape_attr(uri)}"')
+            for text in attr_texts:
+                parts.append(" " + text)
+            if self_closing:
+                parts.append("/>")
+            else:
+                parts.append(">")
+                scopes.append(scope)
+                open_names.append((elem_prefix, pending.local))
+            out.append("".join(parts))
+            pending = None
+
+        for event in events:
+            if event.kind is EventKind.DOC_START or event.kind is EventKind.DOC_END:
+                flush_pending()
+            elif event.kind is EventKind.ELEM_START:
+                flush_pending()
+                pending = _PendingElement(event.local, event.uri)
+            elif event.kind is EventKind.NS:
+                if pending is None:
+                    raise XmlError("namespace event outside an element start")
+                pending.declarations.append((event.local, event.value))
+            elif event.kind is EventKind.ATTR:
+                if pending is None:
+                    raise XmlError("attribute event outside an element start")
+                pending.attrs.append((event.local, event.uri, event.value))
+            elif event.kind is EventKind.ELEM_END:
+                if pending is not None:
+                    flush_pending(self_closing=True)
+                else:
+                    if not open_names:
+                        raise XmlError("unbalanced element end event")
+                    prefix, local = open_names.pop()
+                    scopes.pop()
+                    tag = f"{prefix}:{local}" if prefix else local
+                    out.append(f"</{tag}>")
+            elif event.kind is EventKind.TEXT:
+                flush_pending()
+                out.append(_escape_text(event.value))
+            elif event.kind is EventKind.COMMENT:
+                flush_pending()
+                out.append(f"<!--{event.value}-->")
+            elif event.kind is EventKind.PI:
+                flush_pending()
+                body = f" {event.value}" if event.value else ""
+                out.append(f"<?{event.local}{body}?>")
+            else:  # pragma: no cover - exhaustive
+                raise XmlError(f"unknown event kind {event.kind}")
+        flush_pending()
+        if open_names:
+            raise XmlError("unterminated elements in event stream")
+        return "".join(out)
+
+
+def serialize(source: Node | Iterable[SaxEvent],
+              omit_declaration: bool = True) -> str:
+    """Serialize an XDM tree or an event stream to XML text."""
+    if isinstance(source, Node):
+        source = events_from_tree(source)
+    return Serializer(omit_declaration=omit_declaration).serialize(source)

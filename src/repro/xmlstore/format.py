@@ -1,0 +1,276 @@
+"""Packed-record binary format (Fig. 3).
+
+One stored record ("XMLData") holds a single subtree or a sequence of
+subtrees sharing a common parent — the *context node*.  The record layout is
+
+* a **record header** with "the context path information, including the
+  absolute node ID, the path from the root (a list of name IDs), and
+  in-scope namespaces for the context node" (§3.1), plus the DocID;
+* a **node stream**: structure nesting represents parent-child relationships;
+  each element entry carries its relative node ID, name ID, the number of
+  nested entries, and its encoded subtree length "to support efficient tree
+  traversal by using the firstChild and nextSibling operations";
+* **proxy nodes** stand for packed-out subtrees and carry only the (absolute)
+  node ID of the first packed node — no physical links between records.
+
+All names are integers from the database-wide name table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PackingError
+from repro.rdb import codec
+
+
+class EntryKind:
+    """Node-entry kind bytes in the packed stream."""
+
+    ELEMENT = 1
+    TEXT = 2
+    ATTRIBUTE = 3
+    NAMESPACE = 4
+    COMMENT = 5
+    PI = 6
+    PROXY = 7
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """Decoded record header."""
+
+    docid: int
+    context_id: bytes              # absolute node ID of the context node
+    context_path: tuple[int, ...]  # element name IDs from the root down
+    namespaces: tuple[tuple[str, int], ...]  # in-scope (prefix, uri-id)
+
+
+def encode_header(out: bytearray, header: RecordHeader) -> None:
+    """Append the record header to ``out``."""
+    codec.write_uvarint(out, header.docid)
+    codec.write_bytes(out, header.context_id)
+    codec.write_uvarint(out, len(header.context_path))
+    for name_id in header.context_path:
+        codec.write_uvarint(out, name_id)
+    codec.write_uvarint(out, len(header.namespaces))
+    for prefix, uri_id in header.namespaces:
+        codec.write_str(out, prefix)
+        codec.write_uvarint(out, uri_id)
+
+
+def decode_header(buf: bytes | memoryview, pos: int = 0
+                  ) -> tuple[RecordHeader, int]:
+    """Read a record header; returns ``(header, node_stream_start)``."""
+    docid, pos = codec.read_uvarint(buf, pos)
+    context_id, pos = codec.read_bytes(buf, pos)
+    n_path, pos = codec.read_uvarint(buf, pos)
+    path = []
+    for _ in range(n_path):
+        name_id, pos = codec.read_uvarint(buf, pos)
+        path.append(name_id)
+    n_ns, pos = codec.read_uvarint(buf, pos)
+    namespaces = []
+    for _ in range(n_ns):
+        prefix, pos = codec.read_str(buf, pos)
+        uri_id, pos = codec.read_uvarint(buf, pos)
+        namespaces.append((prefix, uri_id))
+    return RecordHeader(docid, context_id, tuple(path), tuple(namespaces)), pos
+
+
+# ---------------------------------------------------------------------------
+# Entry encoders (bottom-up: children are already-encoded chunks)
+# ---------------------------------------------------------------------------
+
+def encode_element(rel_id: bytes, name_id: int, entry_count: int,
+                   content: bytes) -> bytes:
+    """Encode an element entry wrapping already-encoded nested entries."""
+    out = bytearray([EntryKind.ELEMENT])
+    codec.write_bytes(out, rel_id)
+    codec.write_uvarint(out, name_id)
+    codec.write_uvarint(out, entry_count)
+    codec.write_bytes(out, content)  # length prefix == subtree length
+    return bytes(out)
+
+
+def encode_text(rel_id: bytes, text: str) -> bytes:
+    out = bytearray([EntryKind.TEXT])
+    codec.write_bytes(out, rel_id)
+    codec.write_str(out, text)
+    return bytes(out)
+
+
+def encode_attribute(rel_id: bytes, name_id: int, value: str) -> bytes:
+    out = bytearray([EntryKind.ATTRIBUTE])
+    codec.write_bytes(out, rel_id)
+    codec.write_uvarint(out, name_id)
+    codec.write_str(out, value)
+    return bytes(out)
+
+
+def encode_namespace(rel_id: bytes, prefix: str, uri_id: int) -> bytes:
+    out = bytearray([EntryKind.NAMESPACE])
+    codec.write_bytes(out, rel_id)
+    codec.write_str(out, prefix)
+    codec.write_uvarint(out, uri_id)
+    return bytes(out)
+
+
+def encode_comment(rel_id: bytes, text: str) -> bytes:
+    out = bytearray([EntryKind.COMMENT])
+    codec.write_bytes(out, rel_id)
+    codec.write_str(out, text)
+    return bytes(out)
+
+
+def encode_pi(rel_id: bytes, target: str, data: str) -> bytes:
+    out = bytearray([EntryKind.PI])
+    codec.write_bytes(out, rel_id)
+    codec.write_str(out, target)
+    codec.write_str(out, data)
+    return bytes(out)
+
+
+def encode_proxy(first_abs_id: bytes) -> bytes:
+    """Encode a proxy for a packed-out record.
+
+    The proxy stores the *absolute* node ID of the first node in the packed
+    record; traversal probes the NodeID index with (DocID, this id) (§3.4).
+    """
+    out = bytearray([EntryKind.PROXY])
+    codec.write_bytes(out, first_abs_id)
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Entry decoding
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Entry:
+    """One decoded node entry (children left as an encoded span)."""
+
+    kind: int
+    rel_id: bytes           # absolute id for PROXY entries
+    name_id: int = 0        # ELEMENT / ATTRIBUTE
+    text: str = ""          # TEXT / COMMENT / ATTRIBUTE value / PI data
+    target: str = ""        # PI target / NAMESPACE prefix
+    uri_id: int = 0         # NAMESPACE
+    entry_count: int = 0    # ELEMENT: nested entry count
+    content_start: int = 0  # ELEMENT: nested entries span
+    content_end: int = 0
+    next_pos: int = 0       # position just past this entry (nextSibling)
+
+
+def parse_entry(buf: bytes | memoryview, pos: int) -> Entry:
+    """Decode the entry at ``pos``.
+
+    For elements the nested content is *not* decoded — ``content_start`` /
+    ``content_end`` delimit it, giving O(1) firstChild and nextSibling
+    (subtree skipping, §3.4).
+    """
+    kind = buf[pos]
+    pos += 1
+    if kind == EntryKind.ELEMENT:
+        rel_id, pos = codec.read_bytes(buf, pos)
+        name_id, pos = codec.read_uvarint(buf, pos)
+        entry_count, pos = codec.read_uvarint(buf, pos)
+        length, pos = codec.read_uvarint(buf, pos)
+        return Entry(kind, rel_id, name_id=name_id, entry_count=entry_count,
+                     content_start=pos, content_end=pos + length,
+                     next_pos=pos + length)
+    if kind == EntryKind.TEXT or kind == EntryKind.COMMENT:
+        rel_id, pos = codec.read_bytes(buf, pos)
+        text, pos = codec.read_str(buf, pos)
+        return Entry(kind, rel_id, text=text, next_pos=pos)
+    if kind == EntryKind.ATTRIBUTE:
+        rel_id, pos = codec.read_bytes(buf, pos)
+        name_id, pos = codec.read_uvarint(buf, pos)
+        value, pos = codec.read_str(buf, pos)
+        return Entry(kind, rel_id, name_id=name_id, text=value, next_pos=pos)
+    if kind == EntryKind.NAMESPACE:
+        rel_id, pos = codec.read_bytes(buf, pos)
+        prefix, pos = codec.read_str(buf, pos)
+        uri_id, pos = codec.read_uvarint(buf, pos)
+        return Entry(kind, rel_id, target=prefix, uri_id=uri_id, next_pos=pos)
+    if kind == EntryKind.PI:
+        rel_id, pos = codec.read_bytes(buf, pos)
+        target, pos = codec.read_str(buf, pos)
+        data, pos = codec.read_str(buf, pos)
+        return Entry(kind, rel_id, target=target, text=data, next_pos=pos)
+    if kind == EntryKind.PROXY:
+        abs_id, pos = codec.read_bytes(buf, pos)
+        return Entry(kind, abs_id, next_pos=pos)
+    raise PackingError(f"corrupt packed record (entry kind {kind})")
+
+
+def iter_entries(buf: bytes | memoryview, start: int, end: int
+                 ) -> Iterator[Entry]:
+    """Yield sibling entries in ``buf[start:end]`` without descending."""
+    pos = start
+    while pos < end:
+        entry = parse_entry(buf, pos)
+        yield entry
+        pos = entry.next_pos
+    if pos != end:
+        raise PackingError("packed record entries overrun their span")
+
+
+def record_node_stream(record: bytes
+                       ) -> Iterator[tuple[Entry, bytes, int]]:
+    """Pre-order walk of a whole record.
+
+    Yields ``(entry, absolute_node_id, depth)`` for every entry, including
+    proxies (whose ``rel_id`` already is absolute).  Depth 0 is a top-level
+    subtree root (a child of the context node).
+    """
+    header, body_start = decode_header(record)
+    view = memoryview(record)
+
+    def walk(start: int, end: int, parent_abs: bytes, depth: int
+             ) -> Iterator[tuple[Entry, bytes, int]]:
+        for entry in iter_entries(view, start, end):
+            if entry.kind == EntryKind.PROXY:
+                yield entry, entry.rel_id, depth
+                continue
+            abs_id = parent_abs + entry.rel_id
+            yield entry, abs_id, depth
+            if entry.kind == EntryKind.ELEMENT:
+                yield from walk(entry.content_start, entry.content_end,
+                                abs_id, depth + 1)
+
+    yield from walk(body_start, len(record), header.context_id, 0)
+
+
+def record_intervals(record: bytes) -> list[tuple[bytes, bytes]]:
+    """Contiguous document-order node-ID intervals stored in this record.
+
+    "For each contiguous interval of node IDs for nodes within a record in
+    document order, only one entry is in the node ID index, which is the
+    upper end point" (§3.1).  A proxy interrupts a run (the packed-out nodes
+    sort strictly between their neighbours); returns ``(low, high)`` pairs.
+    """
+    intervals: list[tuple[bytes, bytes]] = []
+    run_low: bytes | None = None
+    run_high: bytes | None = None
+    for entry, abs_id, _depth in record_node_stream(record):
+        if entry.kind == EntryKind.PROXY:
+            if run_low is not None:
+                intervals.append((run_low, run_high))  # type: ignore[arg-type]
+                run_low = run_high = None
+            continue
+        if run_low is None:
+            run_low = abs_id
+        run_high = abs_id
+    if run_low is not None:
+        intervals.append((run_low, run_high))  # type: ignore[arg-type]
+    return intervals
+
+
+def record_min_node_id(record: bytes) -> bytes:
+    """The ``minNodeID`` clustering column value for this record."""
+    for entry, abs_id, _depth in record_node_stream(record):
+        if entry.kind != EntryKind.PROXY:
+            return abs_id
+    raise PackingError("packed record contains no nodes")

@@ -1,0 +1,234 @@
+"""Bottom-up streaming tree packer (§3.1-§3.2).
+
+"Assuming the tree is too big for one record, we pack a subtree or a sequence
+of subtrees into a separate record, in a bottom-up fashion.  A packed subtree
+is represented using a proxy node in its containing record."  During tree
+construction "no separate trees of in-memory format are built; rather,
+tree-packed records are generated from the bottom up in a streaming fashion"
+(§3.2).
+
+Grouping is the paper's "simple size-based grouping method": a parent
+accumulates completed child subtrees; once the pending run would exceed the
+record-size limit it is spilled into its own record and replaced by a proxy.
+Attributes and namespace declarations always stay inline with their element.
+
+The packer consumes virtual SAX events that already carry Dewey node IDs
+(see :func:`repro.xdm.events.assign_node_ids`) and produces encoded records.
+Records are emitted bottom-up; the store sorts them by ``minNodeID`` before
+writing so that physical placement follows the ``(DocID, minNodeID)``
+clustering order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PackingError
+from repro.xdm import nodeid
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xdm.names import NameTable
+from repro.xmlstore import format as fmt
+
+
+class _OpenContainer:
+    """State for one open element (or the document node)."""
+
+    __slots__ = ("abs_id", "rel_id", "name_id", "scope", "inline",
+                 "done", "pending", "pending_size", "pending_first",
+                 "no_flush")
+
+    def __init__(self, abs_id: bytes, rel_id: bytes, name_id: int,
+                 scope: dict[str, int], no_flush: bool = False) -> None:
+        self.abs_id = abs_id
+        self.rel_id = rel_id
+        self.name_id = name_id
+        self.scope = scope                      # prefix -> uri id, in scope
+        self.inline: list[bytes] = []           # NS + attribute entries
+        self.done: list[bytes] = []             # proxies from earlier flushes
+        self.pending: list[bytes] = []          # unflushed child entries
+        self.pending_size = 0
+        self.pending_first: bytes | None = None  # abs id of first pending node
+        #: The document container never flushes: the root record must hold
+        #: the top of the tree so the (DocID, 00) probe finds it (§3.4).
+        self.no_flush = no_flush
+
+
+class TreePacker:
+    """Packs one document's event stream into records.
+
+    Args:
+        docid: Document ID stored in every record header.
+        names: Database-wide name table (names are interned during packing).
+        record_limit: Size-based grouping threshold in bytes (the packing
+            factor knob of experiments E1-E3).
+    """
+
+    def __init__(self, docid: int, names: NameTable, record_limit: int) -> None:
+        if record_limit < 16:
+            raise PackingError(f"record limit {record_limit} is too small")
+        self.docid = docid
+        self.names = names
+        self.record_limit = record_limit
+        self.records: list[bytes] = []
+        self.node_count = 0
+        self._stack: list[_OpenContainer] = []
+        self._path: list[int] = []  # element name ids from the root down
+        self._finished = False
+
+    # -- event feed ----------------------------------------------------------
+
+    def feed(self, events: Iterable[SaxEvent]) -> "TreePacker":
+        """Consume a full (node-ID-decorated) event stream."""
+        for event in events:
+            self.push(event)
+        return self
+
+    def push(self, event: SaxEvent) -> None:
+        """Consume one event."""
+        kind = event.kind
+        if kind is EventKind.DOC_START:
+            if self._stack:
+                raise PackingError("document start inside a document")
+            self._stack.append(_OpenContainer(nodeid.ROOT_ID, b"", 0,
+                                              {"": 0}, no_flush=True))
+        elif kind is EventKind.DOC_END:
+            self._close_document()
+        elif kind is EventKind.ELEM_START:
+            self._require_id(event)
+            parent = self._top()
+            name_id = self.names.intern_name(event.local, event.uri)
+            rel_id = event.node_id[len(parent.abs_id):]  # type: ignore[index]
+            container = _OpenContainer(event.node_id, rel_id, name_id,
+                                       dict(parent.scope))
+            self._stack.append(container)
+            self._path.append(name_id)
+            self.node_count += 1
+        elif kind is EventKind.ELEM_END:
+            self._close_element()
+        elif kind is EventKind.NS:
+            self._require_id(event)
+            top = self._top()
+            uri_id = self.names.intern_uri(event.value)
+            top.scope[event.local] = uri_id
+            rel_id = event.node_id[len(top.abs_id):]  # type: ignore[index]
+            top.inline.append(fmt.encode_namespace(rel_id, event.local, uri_id))
+            self.node_count += 1
+        elif kind is EventKind.ATTR:
+            self._require_id(event)
+            top = self._top()
+            name_id = self.names.intern_name(event.local, event.uri)
+            rel_id = event.node_id[len(top.abs_id):]  # type: ignore[index]
+            top.inline.append(fmt.encode_attribute(rel_id, name_id, event.value))
+            self.node_count += 1
+        elif kind in (EventKind.TEXT, EventKind.COMMENT, EventKind.PI):
+            self._require_id(event)
+            top = self._top()
+            rel_id = event.node_id[len(top.abs_id):]  # type: ignore[index]
+            if kind is EventKind.TEXT:
+                chunk = fmt.encode_text(rel_id, event.value)
+            elif kind is EventKind.COMMENT:
+                chunk = fmt.encode_comment(rel_id, event.value)
+            else:
+                chunk = fmt.encode_pi(rel_id, event.local, event.value)
+            self._add_child(top, chunk, event.node_id)  # type: ignore[arg-type]
+            self.node_count += 1
+        else:  # pragma: no cover - exhaustive
+            raise PackingError(f"unexpected event kind {kind}")
+
+    def finish(self) -> list[bytes]:
+        """Return all records, sorted by minNodeID (clustering order)."""
+        if not self._finished:
+            raise PackingError("event stream did not close the document")
+        return sorted(self.records, key=fmt.record_min_node_id)
+
+    # -- internals --------------------------------------------------------------
+
+    def _top(self) -> _OpenContainer:
+        if not self._stack:
+            raise PackingError("event outside a document")
+        return self._stack[-1]
+
+    @staticmethod
+    def _require_id(event: SaxEvent) -> None:
+        if event.node_id is None:
+            raise PackingError(
+                f"packer requires node IDs on events (missing on {event!r}); "
+                "wrap the stream with repro.xdm.events.assign_node_ids")
+
+    def _add_child(self, parent: _OpenContainer, chunk: bytes,
+                   first_abs: bytes) -> None:
+        if not parent.no_flush and parent.pending and \
+                parent.pending_size + len(chunk) > self.record_limit:
+            self._flush_pending(parent)
+        if not parent.pending:
+            parent.pending_first = first_abs
+        parent.pending.append(chunk)
+        parent.pending_size += len(chunk)
+        if not parent.no_flush and len(chunk) > self.record_limit:
+            # A single oversized subtree gets its own record.
+            self._flush_pending(parent)
+
+    def _flush_pending(self, parent: _OpenContainer) -> None:
+        if not parent.pending:
+            return
+        header = fmt.RecordHeader(
+            docid=self.docid,
+            context_id=parent.abs_id,
+            context_path=tuple(self._path_to(parent)),
+            namespaces=tuple(sorted(parent.scope.items())),
+        )
+        out = bytearray()
+        fmt.encode_header(out, header)
+        for chunk in parent.pending:
+            out.extend(chunk)
+        self.records.append(bytes(out))
+        assert parent.pending_first is not None
+        parent.done.append(fmt.encode_proxy(parent.pending_first))
+        parent.pending = []
+        parent.pending_size = 0
+        parent.pending_first = None
+
+    def _path_to(self, container: _OpenContainer) -> list[int]:
+        # self._path covers every open element; the container is either the
+        # document (path []) or an open element at some depth.
+        for depth, open_elem in enumerate(self._stack):
+            if open_elem is container:
+                return self._path[:depth]  # document is stack[0] with no name
+        raise PackingError("container is not open")  # pragma: no cover
+
+    def _close_element(self) -> None:
+        if len(self._stack) < 2:
+            raise PackingError("element end without matching start")
+        elem = self._stack.pop()
+        self._path.pop()
+        entries = elem.inline + elem.done + elem.pending
+        content = b"".join(entries)
+        chunk = fmt.encode_element(elem.rel_id, elem.name_id,
+                                   len(entries), content)
+        self._add_child(self._stack[-1], chunk, elem.abs_id)
+
+    def _close_document(self) -> None:
+        if len(self._stack) != 1:
+            raise PackingError("document end with open elements")
+        doc = self._stack.pop()
+        if not doc.pending and not doc.done:
+            raise PackingError("empty document")
+        # The root record: context is the (implicit) document node.
+        header = fmt.RecordHeader(self.docid, nodeid.ROOT_ID, (), ())
+        out = bytearray()
+        fmt.encode_header(out, header)
+        for chunk in doc.done + doc.pending:
+            out.extend(chunk)
+        self.records.append(bytes(out))
+        self._finished = True
+
+
+def pack_document(docid: int, events: Iterable[SaxEvent], names: NameTable,
+                  record_limit: int) -> tuple[list[bytes], int]:
+    """Pack a decorated event stream; returns ``(records, node_count)``.
+
+    Records come back sorted by minNodeID, ready for clustered insertion.
+    """
+    packer = TreePacker(docid, names, record_limit)
+    packer.feed(events)
+    return packer.finish(), packer.node_count

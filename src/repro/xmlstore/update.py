@@ -1,0 +1,361 @@
+"""Subdocument updates (§3.1's update analysis, §5.2's workload).
+
+LOB storage would force whole-document rewrites; the native format supports
+node-level updates by *record surgery*: decode the one record containing the
+target node, splice the change, re-encode, and swap the record in place
+(repointing NodeID-index entries if the record moves).  Only ``p·n`` bytes —
+one record — are touched, which is exactly the update-cost term of the §3.1
+analysis that experiment E3 measures.
+
+New sibling IDs come from :func:`repro.xdm.nodeid.between`, so existing node
+IDs never change ("stable upon update of the tree").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import PackingError, XmlError
+from repro.xdm import nodeid
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xmlstore import format as fmt
+from repro.xmlstore.store import XmlStore
+
+
+@dataclass
+class MutEntry:
+    """Mutable form of one packed-record entry."""
+
+    kind: int
+    rel_id: bytes            # absolute for PROXY
+    name_id: int = 0
+    text: str = ""
+    target: str = ""
+    uri_id: int = 0
+    children: list["MutEntry"] = field(default_factory=list)
+
+
+def decode_record(record: bytes) -> tuple[fmt.RecordHeader, list[MutEntry]]:
+    """Decode a packed record into a mutable entry forest."""
+    header, body_start = fmt.decode_header(record)
+
+    def decode_span(start: int, end: int) -> list[MutEntry]:
+        out = []
+        for entry in fmt.iter_entries(record, start, end):
+            mut = MutEntry(entry.kind, entry.rel_id, entry.name_id,
+                           entry.text, entry.target, entry.uri_id)
+            if entry.kind == fmt.EntryKind.ELEMENT:
+                mut.children = decode_span(entry.content_start,
+                                           entry.content_end)
+            out.append(mut)
+        return out
+
+    return header, decode_span(body_start, len(record))
+
+
+def encode_record(header: fmt.RecordHeader, entries: list[MutEntry]) -> bytes:
+    """Re-encode a mutable entry forest into record bytes."""
+    out = bytearray()
+    fmt.encode_header(out, header)
+    for entry in entries:
+        out.extend(_encode_entry(entry))
+    return bytes(out)
+
+
+def _encode_entry(entry: MutEntry) -> bytes:
+    if entry.kind == fmt.EntryKind.ELEMENT:
+        content = b"".join(_encode_entry(c) for c in entry.children)
+        return fmt.encode_element(entry.rel_id, entry.name_id,
+                                  len(entry.children), content)
+    if entry.kind == fmt.EntryKind.TEXT:
+        return fmt.encode_text(entry.rel_id, entry.text)
+    if entry.kind == fmt.EntryKind.ATTRIBUTE:
+        return fmt.encode_attribute(entry.rel_id, entry.name_id, entry.text)
+    if entry.kind == fmt.EntryKind.NAMESPACE:
+        return fmt.encode_namespace(entry.rel_id, entry.target, entry.uri_id)
+    if entry.kind == fmt.EntryKind.COMMENT:
+        return fmt.encode_comment(entry.rel_id, entry.text)
+    if entry.kind == fmt.EntryKind.PI:
+        return fmt.encode_pi(entry.rel_id, entry.target, entry.text)
+    if entry.kind == fmt.EntryKind.PROXY:
+        return fmt.encode_proxy(entry.rel_id)
+    raise PackingError(f"unknown entry kind {entry.kind}")
+
+
+class XmlUpdater:
+    """Node-level update operations on one XmlStore."""
+
+    def __init__(self, store: XmlStore) -> None:
+        self.store = store
+
+    # -- record-surgery plumbing ------------------------------------------------
+
+    def _locate(self, docid: int, node_id: bytes
+                ) -> tuple[object, bytes, fmt.RecordHeader, list[MutEntry],
+                           list[MutEntry], int, bytes]:
+        """Find the record and the entry list position of ``node_id``.
+
+        Returns ``(rid, record, header, forest, containing_list, index,
+        parent_abs)``.
+        """
+        rid = self.store.node_index.probe(docid, node_id)
+        if rid is None:
+            raise XmlError(f"node {nodeid.format_id(node_id)} not found "
+                           f"in DocID {docid}")
+        record = self.store.read_record(rid)
+        header, forest = decode_record(record)
+
+        def search(entries: list[MutEntry], parent_abs: bytes):
+            for index, entry in enumerate(entries):
+                if entry.kind == fmt.EntryKind.PROXY:
+                    continue
+                abs_id = parent_abs + entry.rel_id
+                if abs_id == node_id:
+                    return entries, index, parent_abs
+                if entry.kind == fmt.EntryKind.ELEMENT and \
+                        nodeid.is_ancestor(abs_id, node_id):
+                    return search(entry.children, abs_id)
+            return None
+
+        found = search(forest, header.context_id)
+        if found is None:
+            raise XmlError(f"node {nodeid.format_id(node_id)} not present "
+                           f"in its record")
+        containing, index, parent_abs = found
+        return rid, record, header, forest, containing, index, parent_abs
+
+    def _commit(self, docid: int, rid, header: fmt.RecordHeader,
+                forest: list[MutEntry]) -> None:
+        if not forest:
+            raise PackingError("record surgery left an empty record")
+        self.store.replace_record(docid, rid, encode_record(header, forest))
+
+    # -- operations ------------------------------------------------------------------
+
+    def replace_text(self, docid: int, node_id: bytes, new_text: str) -> None:
+        """Replace the content of a text node or the value of an attribute."""
+        rid, _record, header, forest, containing, index, _ = \
+            self._locate(docid, node_id)
+        entry = containing[index]
+        if entry.kind not in (fmt.EntryKind.TEXT, fmt.EntryKind.ATTRIBUTE,
+                              fmt.EntryKind.COMMENT, fmt.EntryKind.PI):
+            raise XmlError("replace_text targets text/attribute/comment/PI nodes")
+        entry.text = new_text
+        self._commit(docid, rid, header, forest)
+
+    def delete_node(self, docid: int, node_id: bytes) -> int:
+        """Delete the subtree rooted at ``node_id``; returns nodes removed
+        from the containing record's entry forest (proxied records cascade).
+        """
+        rid, _record, header, forest, containing, index, _ = \
+            self._locate(docid, node_id)
+        removed = containing.pop(index)
+        # Cascade: packed-out parts of the removed subtree are whole records.
+        for proxy_id in _collect_proxies(removed):
+            self._delete_packed_subtree(docid, proxy_id)
+        if forest:
+            self._commit(docid, rid, header, forest)
+        else:
+            # The record became empty: drop it and its proxy in the parent.
+            old_record = self.store.read_record(rid)  # type: ignore[arg-type]
+            for observer in self.store.observers:
+                observer.record_removed(docid, old_record, rid)  # type: ignore[arg-type]
+            self.store.node_index.remove_record(docid, old_record, rid)  # type: ignore[arg-type]
+            self.store.space.delete(rid)  # type: ignore[arg-type]
+            self._remove_proxy(docid, header.context_id, node_id)
+        return 1
+
+    def _delete_packed_subtree(self, docid: int, first_id: bytes) -> None:
+        rid = self.store.node_index.probe(docid, first_id)
+        if rid is None:
+            raise PackingError(f"dangling proxy {nodeid.format_id(first_id)}")
+        record = self.store.read_record(rid)
+        _header, forest = decode_record(record)
+        for proxy_id in _collect_proxies_list(forest):
+            self._delete_packed_subtree(docid, proxy_id)
+        self.store.node_index.remove_record(docid, record, rid)
+        for observer in self.store.observers:
+            observer.record_removed(docid, record, rid)
+        self.store.space.delete(rid)
+
+    def _remove_proxy(self, docid: int, parent_abs: bytes,
+                      packed_first_id: bytes) -> None:
+        rid = self.store.node_index.probe(docid, parent_abs) \
+            if parent_abs else self.store.node_index.probe(docid, b"")
+        if rid is None:
+            raise PackingError("cannot locate parent record for proxy removal")
+        record = self.store.read_record(rid)
+        header, forest = decode_record(record)
+
+        def prune(entries: list[MutEntry]) -> bool:
+            for index, entry in enumerate(entries):
+                if entry.kind == fmt.EntryKind.PROXY and \
+                        entry.rel_id == packed_first_id:
+                    entries.pop(index)
+                    return True
+                if entry.kind == fmt.EntryKind.ELEMENT and prune(entry.children):
+                    return True
+            return False
+
+        if not prune(forest):
+            raise PackingError("proxy entry not found in parent record")
+        self._commit(docid, rid, header, forest)
+
+    def insert_subtree(self, docid: int, parent_id: bytes,
+                       events: Iterable[SaxEvent],
+                       before: bytes | None = None,
+                       after: bytes | None = None) -> bytes:
+        """Insert a new child subtree under ``parent_id``.
+
+        ``events`` is an undecorated fragment stream (one top-level node).
+        Position: before/after a given sibling ID, or appended at the end.
+        Returns the new node's absolute ID.
+        """
+        if before is not None and after is not None:
+            raise XmlError("give at most one of before/after")
+        siblings = self.child_ids(docid, parent_id)
+        if before is not None:
+            pos = siblings.index(before)
+            left = siblings[pos - 1] if pos > 0 else None
+            right = before
+        elif after is not None:
+            pos = siblings.index(after)
+            left = after
+            right = siblings[pos + 1] if pos + 1 < len(siblings) else None
+        else:
+            left = siblings[-1] if siblings else None
+            right = None
+        new_id = nodeid.between(left, right, parent_id)
+
+        # Choose the anchor record: the one holding the neighbour entry, or
+        # the parent's record when the parent has no children yet.
+        anchor_node = right if right is not None else left
+        if anchor_node is not None:
+            rid, _rec, header, forest, containing, index, parent_abs = \
+                self._locate(docid, anchor_node)
+            if parent_abs != parent_id:  # pragma: no cover - defensive
+                raise PackingError("anchor sibling has unexpected parent")
+            insert_at = index if right is not None else index + 1
+        else:
+            rid, _rec, header, forest, containing_parent, index, _ = \
+                self._locate(docid, parent_id)
+            parent_entry = containing_parent[index]
+            containing = parent_entry.children
+            # Skip inline namespace/attribute entries.
+            insert_at = len(containing)
+        chunk_forest = _build_subtree(events, new_id, parent_id, self.store)
+        containing[insert_at:insert_at] = chunk_forest
+        self._commit(docid, rid, header, forest)
+        return new_id
+
+    def child_ids(self, docid: int, parent_id: bytes) -> list[bytes]:
+        """Absolute IDs of every child-level node of ``parent_id``.
+
+        Includes attribute and namespace nodes — they share the per-level
+        ordinal space, so sibling-ID arithmetic must see them.  Proxies are
+        expanded through the NodeID index.
+        """
+        if parent_id == nodeid.ROOT_ID:
+            rid = self.store.node_index.probe(docid, b"")
+            if rid is None:
+                raise XmlError(f"no document with DocID {docid}")
+            record = self.store.read_record(rid)
+            header, forest = decode_record(record)
+            entries, parent_abs = forest, header.context_id
+        else:
+            _rid, record, _header, _forest, containing, index, _pa = \
+                self._locate(docid, parent_id)
+            entries, parent_abs = containing[index].children, parent_id
+
+        out: list[bytes] = []
+
+        def expand(entries: list[MutEntry], parent_abs: bytes) -> None:
+            for entry in entries:
+                if entry.kind == fmt.EntryKind.PROXY:
+                    child_rid = self.store.node_index.probe(docid, entry.rel_id)
+                    if child_rid is None:
+                        raise PackingError("dangling proxy")
+                    child_record = self.store.read_record(child_rid)
+                    child_header, child_forest = decode_record(child_record)
+                    expand(child_forest, child_header.context_id)
+                else:
+                    out.append(parent_abs + entry.rel_id)
+
+        expand(entries, parent_abs)
+        return out
+
+
+def _collect_proxies(entry: MutEntry) -> list[bytes]:
+    if entry.kind == fmt.EntryKind.PROXY:
+        return [entry.rel_id]
+    return _collect_proxies_list(entry.children)
+
+
+def _collect_proxies_list(entries: list[MutEntry]) -> list[bytes]:
+    out: list[bytes] = []
+    for entry in entries:
+        out.extend(_collect_proxies(entry))
+    return out
+
+
+def _build_subtree(events: Iterable[SaxEvent], root_id: bytes,
+                   parent_id: bytes, store: XmlStore) -> list[MutEntry]:
+    """Encode a fragment event stream as entries rooted at ``root_id``."""
+    root_rel = root_id[len(parent_id):]
+    forest: list[MutEntry] = []
+    stack: list[tuple[MutEntry | None, list[MutEntry], bytes, int]] = \
+        [(None, forest, parent_id, 1)]
+    # Each frame: (element, its child list, its absolute id, next ordinal).
+    first = True
+    for event in events:
+        if event.kind in (EventKind.DOC_START, EventKind.DOC_END):
+            continue
+        _elem, siblings, parent_abs, ordinal = stack[-1]
+        if first:
+            rel = root_rel
+        else:
+            rel = nodeid.relative_from_ordinal(ordinal)
+        if event.kind is EventKind.ELEM_START:
+            name_id = store.names.intern_name(event.local, event.uri)
+            mut = MutEntry(fmt.EntryKind.ELEMENT, rel, name_id=name_id)
+            siblings.append(mut)
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            stack.append((mut, mut.children, parent_abs + rel, 1))
+            first = False
+        elif event.kind is EventKind.ELEM_END:
+            if len(stack) == 1:
+                raise XmlError("unbalanced fragment stream")
+            stack.pop()
+        elif event.kind is EventKind.ATTR:
+            name_id = store.names.intern_name(event.local, event.uri)
+            siblings.append(MutEntry(fmt.EntryKind.ATTRIBUTE, rel,
+                                     name_id=name_id, text=event.value))
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            first = False
+        elif event.kind is EventKind.NS:
+            uri_id = store.names.intern_uri(event.value)
+            siblings.append(MutEntry(fmt.EntryKind.NAMESPACE, rel,
+                                     target=event.local, uri_id=uri_id))
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            first = False
+        elif event.kind is EventKind.TEXT:
+            siblings.append(MutEntry(fmt.EntryKind.TEXT, rel, text=event.value))
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            first = False
+        elif event.kind is EventKind.COMMENT:
+            siblings.append(MutEntry(fmt.EntryKind.COMMENT, rel,
+                                     text=event.value))
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            first = False
+        elif event.kind is EventKind.PI:
+            siblings.append(MutEntry(fmt.EntryKind.PI, rel,
+                                     target=event.local, text=event.value))
+            stack[-1] = (_elem, siblings, parent_abs, ordinal + 1)
+            first = False
+    if len(stack) != 1:
+        raise XmlError("unterminated fragment stream")
+    if len(forest) != 1:
+        raise XmlError(f"fragment must have exactly one top-level node, "
+                       f"got {len(forest)}")
+    return forest

@@ -1,0 +1,152 @@
+"""Core XPath function library.
+
+The subset the engine's predicates support: existence/cardinality, string
+and numeric functions.  Each function receives already-evaluated
+:data:`~repro.xpath.values.XValue` arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import TypeError_, XPathUnsupportedError
+from repro.xpath.values import (XValue, effective_boolean, is_sequence,
+                                to_number, to_string)
+
+
+def _fn_count(seq: XValue) -> float:
+    if not is_sequence(seq):
+        raise TypeError_("count() requires a node sequence")
+    return float(len(seq))
+
+
+def _fn_exists(seq: XValue) -> bool:
+    if not is_sequence(seq):
+        raise TypeError_("exists() requires a node sequence")
+    return bool(seq)
+
+
+def _fn_empty(seq: XValue) -> bool:
+    if not is_sequence(seq):
+        raise TypeError_("empty() requires a node sequence")
+    return not seq
+
+
+def _fn_not(value: XValue) -> bool:
+    return not effective_boolean(value)
+
+
+def _fn_boolean(value: XValue) -> bool:
+    return effective_boolean(value)
+
+
+def _fn_true() -> bool:
+    return True
+
+
+def _fn_false() -> bool:
+    return False
+
+
+def _fn_string(value: XValue) -> str:
+    return to_string(value)
+
+
+def _fn_number(value: XValue) -> float:
+    return to_number(value)
+
+
+def _fn_contains(haystack: XValue, needle: XValue) -> bool:
+    return to_string(needle) in to_string(haystack)
+
+
+def _fn_starts_with(text: XValue, prefix: XValue) -> bool:
+    return to_string(text).startswith(to_string(prefix))
+
+
+def _fn_string_length(value: XValue) -> float:
+    return float(len(to_string(value)))
+
+
+def _fn_normalize_space(value: XValue) -> str:
+    return " ".join(to_string(value).split())
+
+
+def _fn_substring(value: XValue, start: XValue,
+                  length: XValue | None = None) -> str:
+    text = to_string(value)
+    begin = round(to_number(start)) - 1
+    if length is None:
+        return text[max(begin, 0):]
+    end = begin + round(to_number(length))
+    return text[max(begin, 0):max(end, 0)]
+
+
+def _fn_floor(value: XValue) -> float:
+    return float(math.floor(to_number(value)))
+
+
+def _fn_ceiling(value: XValue) -> float:
+    return float(math.ceil(to_number(value)))
+
+
+def _fn_round(value: XValue) -> float:
+    number = to_number(value)
+    if math.isnan(number):
+        return number
+    return float(math.floor(number + 0.5))
+
+
+def _fn_sum(seq: XValue) -> float:
+    if not is_sequence(seq):
+        raise TypeError_("sum() requires a node sequence")
+    return float(sum(to_number(item.string_value()) for item in seq))
+
+
+_FUNCTIONS: dict[str, tuple[Callable[..., XValue], int, int]] = {
+    # name -> (implementation, min arity, max arity)
+    "count": (_fn_count, 1, 1),
+    "exists": (_fn_exists, 1, 1),
+    "empty": (_fn_empty, 1, 1),
+    "not": (_fn_not, 1, 1),
+    "boolean": (_fn_boolean, 1, 1),
+    "true": (_fn_true, 0, 0),
+    "false": (_fn_false, 0, 0),
+    "string": (_fn_string, 1, 1),
+    "number": (_fn_number, 1, 1),
+    "contains": (_fn_contains, 2, 2),
+    "starts-with": (_fn_starts_with, 2, 2),
+    "string-length": (_fn_string_length, 1, 1),
+    "normalize-space": (_fn_normalize_space, 1, 1),
+    "substring": (_fn_substring, 2, 3),
+    "floor": (_fn_floor, 1, 1),
+    "ceiling": (_fn_ceiling, 1, 1),
+    "round": (_fn_round, 1, 1),
+    "sum": (_fn_sum, 1, 1),
+}
+
+
+def is_supported(name: str) -> bool:
+    return name in _FUNCTIONS
+
+
+def call(name: str, args: list[XValue]) -> XValue:
+    """Invoke a core-library function."""
+    spec = _FUNCTIONS.get(name)
+    if spec is None:
+        raise XPathUnsupportedError(f"function {name}() is not supported")
+    fn, lo, hi = spec
+    if not lo <= len(args) <= hi:
+        raise TypeError_(
+            f"{name}() takes {lo}..{hi} arguments, got {len(args)}")
+    return fn(*args)
+
+
+def value_needed(name: str, arg_index: int) -> bool:
+    """Does argument ``arg_index`` of ``name`` need node string values?
+
+    ``count``/``exists``/``empty`` and bare existence need no values, which
+    lets the compiler skip text collection for those branches.
+    """
+    return name not in ("count", "exists", "empty")

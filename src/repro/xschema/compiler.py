@@ -1,0 +1,302 @@
+"""Schema compiler: content models → DFAs → binary format (Fig. 4).
+
+"During the registration, it is compiled into a binary format like a parsing
+table and stored in the catalog."  Each complex type's content model is a
+regular expression over child element names; the compiler builds a Thompson
+NFA, determinizes it, and serializes the resulting transition tables together
+with attribute/type metadata.  The validation VM (:mod:`validator`) executes
+these tables directly — the LALR-parser-generator analogy the paper draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.rdb import codec
+from repro.xschema.model import (Choice, ComplexType, ElementRef, Particle,
+                                 Schema, Sequence, parse_schema)
+
+_MAX_BOUNDED_OCCURS = 64
+
+
+# -- NFA construction --------------------------------------------------------
+
+class _Nfa:
+    def __init__(self) -> None:
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.epsilon) - 1
+
+    def link(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions[src].setdefault(symbol, set()).add(dst)
+
+    def eps(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+
+
+def _build_fragment(nfa: _Nfa, term) -> tuple[int, int]:
+    """Thompson construction; returns (start, end) states."""
+    if isinstance(term, ElementRef):
+        start, end = nfa.new_state(), nfa.new_state()
+        nfa.link(start, term.name, end)
+        return start, end
+    if isinstance(term, Sequence):
+        start = nfa.new_state()
+        current = start
+        for particle in term.particles:
+            frag_start, frag_end = _build_particle(nfa, particle)
+            nfa.eps(current, frag_start)
+            current = frag_end
+        end = nfa.new_state()
+        nfa.eps(current, end)
+        return start, end
+    if isinstance(term, Choice):
+        start, end = nfa.new_state(), nfa.new_state()
+        if not term.particles:
+            raise SchemaError("empty xs:choice")
+        for particle in term.particles:
+            frag_start, frag_end = _build_particle(nfa, particle)
+            nfa.eps(start, frag_start)
+            nfa.eps(frag_end, end)
+        return start, end
+    raise SchemaError(f"unknown content term {term!r}")
+
+
+def _build_particle(nfa: _Nfa, particle: Particle) -> tuple[int, int]:
+    lo, hi = particle.min_occurs, particle.max_occurs
+    if hi is not None and hi > _MAX_BOUNDED_OCCURS:
+        raise SchemaError(
+            f"maxOccurs {hi} exceeds the supported bound "
+            f"{_MAX_BOUNDED_OCCURS}")
+    start = nfa.new_state()
+    current = start
+    # Mandatory copies.
+    for _ in range(lo):
+        frag_start, frag_end = _build_fragment(nfa, particle.term)
+        nfa.eps(current, frag_start)
+        current = frag_end
+    end = nfa.new_state()
+    if hi is None:
+        # One looping copy: current --frag--> current, skippable.
+        frag_start, frag_end = _build_fragment(nfa, particle.term)
+        nfa.eps(current, frag_start)
+        nfa.eps(frag_end, frag_start)
+        nfa.eps(frag_end, end)
+        nfa.eps(current, end)
+    else:
+        nfa.eps(current, end)
+        for _ in range(hi - lo):
+            frag_start, frag_end = _build_fragment(nfa, particle.term)
+            nfa.eps(current, frag_start)
+            nfa.eps(frag_end, end)
+            current = frag_end
+    return start, end
+
+
+# -- determinization ------------------------------------------------------------
+
+@dataclass
+class Dfa:
+    """Deterministic content-model automaton."""
+
+    start: int
+    accepting: set[int]
+    #: transitions[state] maps child element name -> next state
+    transitions: list[dict[str, int]] = field(default_factory=list)
+
+    def step(self, state: int, symbol: str) -> int | None:
+        return self.transitions[state].get(symbol)
+
+    def accepts_empty_tail(self, state: int) -> bool:
+        return state in self.accepting
+
+
+def _determinize(nfa: _Nfa, start: int, end: int) -> Dfa:
+    def closure(states: frozenset[int]) -> frozenset[int]:
+        out = set(states)
+        work = list(states)
+        while work:
+            state = work.pop()
+            for nxt in nfa.epsilon[state]:
+                if nxt not in out:
+                    out.add(nxt)
+                    work.append(nxt)
+        return frozenset(out)
+
+    start_set = closure(frozenset({start}))
+    index: dict[frozenset[int], int] = {start_set: 0}
+    dfa = Dfa(0, set(), [{}])
+    if end in start_set:
+        dfa.accepting.add(0)
+    work = [start_set]
+    while work:
+        current = work.pop()
+        current_no = index[current]
+        symbols: dict[str, set[int]] = {}
+        for state in current:
+            for symbol, targets in nfa.transitions[state].items():
+                symbols.setdefault(symbol, set()).update(targets)
+        for symbol, targets in sorted(symbols.items()):
+            target_set = closure(frozenset(targets))
+            if target_set not in index:
+                index[target_set] = len(dfa.transitions)
+                dfa.transitions.append({})
+                if end in target_set:
+                    dfa.accepting.add(index[target_set])
+                work.append(target_set)
+            dfa.transitions[current_no][symbol] = index[target_set]
+    return dfa
+
+
+# -- compiled schema ---------------------------------------------------------------
+
+@dataclass
+class CompiledType:
+    name: str
+    #: "" for empty content, a simple-type name for simple content, or None
+    #: when ``dfa`` drives element content.
+    simple_content: str | None
+    attributes: list[tuple[str, str, bool]]  # (name, simple type, required)
+    dfa: Dfa | None
+
+
+@dataclass
+class CompiledSchema:
+    """The loaded binary schema the validation VM executes."""
+
+    elements: dict[str, str]          # element name -> type name
+    types: dict[str, CompiledType]
+
+    def type_of_element(self, name: str) -> CompiledType | None:
+        type_name = self.elements.get(name)
+        if type_name is None:
+            return None
+        found = self.types.get(type_name)
+        if found is None:
+            # A simple-typed element: synthesize a text-only type.
+            return CompiledType(type_name, type_name, [], None)
+        return found
+
+
+def compile_parsed(schema: Schema) -> CompiledSchema:
+    """Compile a parsed schema to its executable form."""
+    compiled = CompiledSchema(
+        {name: decl.type_name for name, decl in schema.elements.items()},
+        {})
+    for name, ctype in schema.types.items():
+        compiled.types[name] = _compile_type(ctype)
+    return compiled
+
+
+def _compile_type(ctype: ComplexType) -> CompiledType:
+    attributes = [(a.name, a.simple_type, a.required)
+                  for a in ctype.attributes]
+    if ctype.content is None:
+        return CompiledType(ctype.name, "", attributes, None)
+    if isinstance(ctype.content, str):
+        return CompiledType(ctype.name, ctype.content, attributes, None)
+    nfa = _Nfa()
+    start, end = _build_particle(nfa, ctype.content)
+    dfa = _determinize(nfa, start, end)
+    return CompiledType(ctype.name, None, attributes, dfa)
+
+
+# -- binary format ----------------------------------------------------------------------
+
+_MAGIC = b"RXSC\x01"
+
+
+def serialize_compiled(compiled: CompiledSchema) -> bytes:
+    out = bytearray(_MAGIC)
+    codec.write_uvarint(out, len(compiled.elements))
+    for name, type_name in sorted(compiled.elements.items()):
+        codec.write_str(out, name)
+        codec.write_str(out, type_name)
+    codec.write_uvarint(out, len(compiled.types))
+    for name, ctype in sorted(compiled.types.items()):
+        codec.write_str(out, name)
+        codec.write_str(out, "" if ctype.simple_content is None
+                        else "S" + ctype.simple_content)
+        codec.write_uvarint(out, len(ctype.attributes))
+        for attr_name, attr_type, required in ctype.attributes:
+            codec.write_str(out, attr_name)
+            codec.write_str(out, attr_type)
+            out.append(1 if required else 0)
+        if ctype.dfa is None:
+            out.append(0)
+            continue
+        out.append(1)
+        dfa = ctype.dfa
+        codec.write_uvarint(out, len(dfa.transitions))
+        codec.write_uvarint(out, dfa.start)
+        codec.write_uvarint(out, len(dfa.accepting))
+        for state in sorted(dfa.accepting):
+            codec.write_uvarint(out, state)
+        for transitions in dfa.transitions:
+            codec.write_uvarint(out, len(transitions))
+            for symbol, target in sorted(transitions.items()):
+                codec.write_str(out, symbol)
+                codec.write_uvarint(out, target)
+    return bytes(out)
+
+
+def deserialize_compiled(data: bytes) -> CompiledSchema:
+    if not data.startswith(_MAGIC):
+        raise SchemaError("not a compiled schema blob")
+    pos = len(_MAGIC)
+    n_elements, pos = codec.read_uvarint(data, pos)
+    elements = {}
+    for _ in range(n_elements):
+        name, pos = codec.read_str(data, pos)
+        type_name, pos = codec.read_str(data, pos)
+        elements[name] = type_name
+    n_types, pos = codec.read_uvarint(data, pos)
+    types: dict[str, CompiledType] = {}
+    for _ in range(n_types):
+        name, pos = codec.read_str(data, pos)
+        content_tag, pos = codec.read_str(data, pos)
+        # "S<type>" marks simple (or empty, "S") content; "" means the DFA
+        # drives element content.
+        simple_content = content_tag[1:] if content_tag.startswith("S") \
+            else None
+        n_attrs, pos = codec.read_uvarint(data, pos)
+        attributes = []
+        for _ in range(n_attrs):
+            attr_name, pos = codec.read_str(data, pos)
+            attr_type, pos = codec.read_str(data, pos)
+            required = bool(data[pos])
+            pos += 1
+            attributes.append((attr_name, attr_type, required))
+        has_dfa = data[pos]
+        pos += 1
+        dfa = None
+        if has_dfa:
+            n_states, pos = codec.read_uvarint(data, pos)
+            start, pos = codec.read_uvarint(data, pos)
+            n_accepting, pos = codec.read_uvarint(data, pos)
+            accepting = set()
+            for _ in range(n_accepting):
+                state, pos = codec.read_uvarint(data, pos)
+                accepting.add(state)
+            transitions: list[dict[str, int]] = []
+            for _ in range(n_states):
+                n_edges, pos = codec.read_uvarint(data, pos)
+                edges = {}
+                for _ in range(n_edges):
+                    symbol, pos = codec.read_str(data, pos)
+                    target, pos = codec.read_uvarint(data, pos)
+                    edges[symbol] = target
+                transitions.append(edges)
+            dfa = Dfa(start, accepting, transitions)
+        types[name] = CompiledType(name, simple_content, attributes, dfa)
+    return CompiledSchema(elements, types)
+
+
+def compile_schema(text: str) -> bytes:
+    """Registration-time pipeline: parse → compile → binary blob."""
+    return serialize_compiled(compile_parsed(parse_schema(text)))

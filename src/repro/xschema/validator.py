@@ -1,0 +1,178 @@
+"""Validation runtime: the VM that executes compiled schemas (Fig. 4).
+
+"At the execution time, the binary schema is loaded and executed by a
+validation runtime to generate a token stream."  The VM walks the input
+events, driving one content-model DFA per open element, checking attribute
+presence and lexical form, and emits a *typed* token stream: ELEM_START
+tokens carry their schema type annotation — the validating-parser output the
+storage layer consumes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from decimal import Decimal, InvalidOperation
+from typing import Iterable
+
+from repro.errors import XmlValidationError
+from repro.xdm.events import EventKind, SaxEvent
+from repro.xdm.parser import parse as parse_xml
+from repro.xdm.tokens import TokenStream
+from repro.xschema.compiler import (CompiledSchema, CompiledType,
+                                    deserialize_compiled)
+
+
+def check_lexical(simple_type: str, text: str) -> bool:
+    """Lexical validity of ``text`` for a built-in simple type."""
+    text = text.strip()
+    if simple_type == "string" or simple_type == "":
+        return True
+    if simple_type == "integer":
+        try:
+            int(text)
+            return True
+        except ValueError:
+            return False
+    if simple_type in ("decimal", "double"):
+        try:
+            if simple_type == "decimal":
+                Decimal(text)
+            else:
+                float(text)
+            return True
+        except (ValueError, InvalidOperation):
+            return False
+    if simple_type == "date":
+        try:
+            _dt.date.fromisoformat(text)
+            return True
+        except ValueError:
+            return False
+    if simple_type == "boolean":
+        return text in ("true", "false", "0", "1")
+    raise XmlValidationError(f"unknown simple type {simple_type!r}")
+
+
+class _Frame:
+    __slots__ = ("name", "ctype", "state", "text", "seen_child",
+                 "seen_attrs")
+
+    def __init__(self, name: str, ctype: CompiledType) -> None:
+        self.name = name
+        self.ctype = ctype
+        self.state = ctype.dfa.start if ctype.dfa is not None else 0
+        self.text: list[str] = []
+        self.seen_child = False
+        self.seen_attrs: set[str] = set()
+
+
+class ValidationVM:
+    """Table-driven validator producing annotated token streams."""
+
+    def __init__(self, compiled: CompiledSchema | bytes) -> None:
+        if isinstance(compiled, bytes):
+            compiled = deserialize_compiled(compiled)
+        self.schema = compiled
+
+    def validate_events(self, events: Iterable[SaxEvent]) -> TokenStream:
+        """Validate a raw event stream; returns the typed token stream."""
+        out = TokenStream()
+        stack: list[_Frame] = []
+        for event in events:
+            kind = event.kind
+            if kind is EventKind.DOC_START or kind is EventKind.DOC_END:
+                out.append_event(event)
+            elif kind is EventKind.ELEM_START:
+                self._enter_child(stack, event)
+                ctype = self._type_for(event.local, stack)
+                frame = _Frame(event.local, ctype)
+                stack.append(frame)
+                out.append(EventKind.ELEM_START, event.local, event.uri,
+                           annotation=ctype.name)
+            elif kind is EventKind.ATTR:
+                frame = stack[-1]
+                declared = {name: (stype, required)
+                            for name, stype, required
+                            in frame.ctype.attributes}
+                if event.local not in declared:
+                    raise XmlValidationError(
+                        f"undeclared attribute {event.local!r} on "
+                        f"<{frame.name}>")
+                stype, _required = declared[event.local]
+                if not check_lexical(stype, event.value):
+                    raise XmlValidationError(
+                        f"attribute {event.local!r}={event.value!r} is not "
+                        f"a valid {stype}")
+                frame.seen_attrs.add(event.local)
+                out.append(EventKind.ATTR, event.local, event.uri,
+                           event.value, annotation=stype)
+            elif kind is EventKind.TEXT:
+                if stack:
+                    frame = stack[-1]
+                    if frame.ctype.dfa is not None and event.value.strip():
+                        raise XmlValidationError(
+                            f"text content not allowed in <{frame.name}>")
+                    frame.text.append(event.value)
+                out.append_event(event)
+            elif kind is EventKind.ELEM_END:
+                frame = stack.pop()
+                self._leave(frame)
+                out.append_event(event)
+            else:  # NS / COMMENT / PI pass through unvalidated
+                out.append_event(event)
+        return out
+
+    def _type_for(self, name: str, stack: list[_Frame]) -> CompiledType:
+        ctype = self.schema.type_of_element(name)
+        if ctype is None:
+            raise XmlValidationError(f"element {name!r} is not declared")
+        return ctype
+
+    def _enter_child(self, stack: list[_Frame], event: SaxEvent) -> None:
+        if not stack:
+            if event.local not in self.schema.elements:
+                raise XmlValidationError(
+                    f"root element {event.local!r} is not declared")
+            return
+        frame = stack[-1]
+        frame.seen_child = True
+        if frame.ctype.dfa is None:
+            raise XmlValidationError(
+                f"<{frame.name}> ({frame.ctype.name}) does not allow "
+                f"child elements")
+        next_state = frame.ctype.dfa.step(frame.state, event.local)
+        if next_state is None:
+            allowed = sorted(frame.ctype.dfa.transitions[frame.state])
+            raise XmlValidationError(
+                f"unexpected <{event.local}> inside <{frame.name}>; "
+                f"expected one of: {', '.join(allowed) or '(end)'}")
+        frame.state = next_state
+
+    def _leave(self, frame: _Frame) -> None:
+        for attr_name, _stype, required in frame.ctype.attributes:
+            if required and attr_name not in frame.seen_attrs:
+                raise XmlValidationError(
+                    f"<{frame.name}> is missing required attribute "
+                    f"{attr_name!r}")
+        if frame.ctype.dfa is not None:
+            if not frame.ctype.dfa.accepts_empty_tail(frame.state):
+                raise XmlValidationError(
+                    f"<{frame.name}> ended before its content model "
+                    f"was satisfied")
+        else:
+            stype = frame.ctype.simple_content or ""
+            if stype and not check_lexical(stype, "".join(frame.text)):
+                raise XmlValidationError(
+                    f"content of <{frame.name}> is not a valid {stype}")
+            if stype == "" and frame.ctype.simple_content == "" and \
+                    "".join(frame.text).strip():
+                raise XmlValidationError(
+                    f"<{frame.name}> must be empty")
+
+
+def validate_text(compiled: CompiledSchema | bytes,
+                  xml_text: str) -> TokenStream:
+    """Validating-parse pipeline: parse → VM → typed token stream."""
+    vm = ValidationVM(compiled)
+    raw = parse_xml(xml_text, strip_whitespace=True)
+    return vm.validate_events(raw.events())

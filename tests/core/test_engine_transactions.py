@@ -1,0 +1,88 @@
+"""Engine-level transaction and crash/restart tests."""
+
+import pytest
+
+from repro.core.engine import Database
+from repro.rdb.locks import LockMode
+from repro.rdb.wal import LogManager
+
+
+class TestTransactionalInserts:
+    def test_abort_undoes_insert(self):
+        db = Database()
+        db.create_table("t", [("n", "bigint"), ("doc", "xml")])
+        db.insert("t", (1, "<a>keep</a>"))
+        txn = db.txns.begin()
+        db.insert("t", (2, "<a>rollback</a>"), txn_id=txn.txn_id)
+        assert db.tables["t"].row_count == 2
+        txn.abort()
+        assert db.tables["t"].row_count == 1
+        # The XML document and its index entries are gone too.
+        assert len(db.xpath("t", "doc", "/a")) == 1
+
+    def test_abort_undoes_value_index_entries(self):
+        db = Database()
+        db.create_table("t", [("doc", "xml")])
+        db.create_xpath_index("ix", "t", "doc", "/a/v", "double")
+        txn = db.txns.begin()
+        db.insert("t", ("<a><v>7</v></a>",), txn_id=txn.txn_id)
+        txn.abort()
+        assert db.value_indexes["ix"].entry_count == 0
+
+    def test_commit_keeps_insert(self):
+        db = Database()
+        db.create_table("t", [("doc", "xml")])
+        txn = db.txns.begin()
+        db.insert("t", ("<a/>",), txn_id=txn.txn_id)
+        txn.commit()
+        assert db.tables["t"].row_count == 1
+
+    def test_txn_locking_between_sessions(self):
+        db = Database()
+        writer = db.txns.begin()
+        writer.lock(("doc", "doc", 1), LockMode.X)
+        reader = db.txns.begin()
+        assert not reader.try_lock(("doc", "doc", 1), LockMode.S)
+        writer.commit()
+        assert reader.try_lock(("doc", "doc", 1), LockMode.S)
+        reader.commit()
+
+
+class TestCrashRestart:
+    def test_log_file_roundtrip_recovery(self, tmp_path):
+        """Full crash simulation: harden the log to a file, rebuild from it."""
+        db = Database()
+        db.create_table("t", [("n", "bigint"), ("doc", "xml")])
+        db.create_xpath_index("ix", "t", "doc", "/a/v", "double")
+        for i in range(5):
+            db.insert("t", (i, f"<a><v>{i * 10}</v></a>"))
+        loser = db.txns.begin()
+        db.insert("t", (99, "<a><v>5</v></a>"), txn_id=loser.txn_id)
+        # Crash: the loser never commits; only the log file survives.
+        log_path = str(tmp_path / "wal.log")
+        db.log.save(log_path)
+
+        recovered = Database.replay(LogManager.load(log_path))
+        assert recovered.tables["t"].row_count == 5
+        original = {(r.docid, r.node_id)
+                    for r in db.xpath("t", "doc", "/a[v >= 20]")}
+        replayed = {(r.docid, r.node_id)
+                    for r in recovered.xpath("t", "doc", "/a[v >= 20]")}
+        # DocIDs/NodeIDs reproduce exactly (deterministic placement), minus
+        # nothing — the loser's row never matched the predicate anyway.
+        assert replayed == original
+        # DocID sequence continues past recovery without collisions.
+        recovered.insert("t", (6, "<a><v>60</v></a>"))
+        assert len(recovered.xpath("t", "doc", "/a[v = 60]")) == 1
+
+    def test_docid_sequence_survives_deletes_and_recovery(self):
+        db = Database()
+        db.create_table("t", [("doc", "xml")])
+        rid = db.insert("t", ("<a>first</a>",))
+        db.delete_row("t", rid)
+        db.insert("t", ("<a>second</a>",))
+        recovered = Database.replay(db.log)
+        docs = recovered.xpath("t", "doc", "/a")
+        assert len(docs) == 1
+        assert recovered.get_document("t", "doc", docs[0].docid) \
+            == "<a>second</a>"

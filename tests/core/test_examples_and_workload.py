@@ -1,0 +1,77 @@
+"""Smoke tests for the example scripts and the workload generators."""
+
+import pathlib
+import runpy
+
+import pytest
+
+from repro.workload.generator import (catalog_document, employee_rows,
+                                      figure6_document, random_tree,
+                                      recursive_document, wide_document)
+from repro.xdm.events import build_tree
+from repro.xdm.parser import parse
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+    def test_example_runs(self, script, capsys):
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script.name} printed nothing"
+
+
+class TestGenerators:
+    def test_catalog_document_well_formed(self):
+        doc = catalog_document(10, seed=1)
+        tree = build_tree(parse(doc))
+        products = tree.document_element().elements("Categories")[0] \
+            .elements("Product")
+        assert len(products) == 10
+        for product in products:
+            float(product.elements("RegPrice")[0].string_value())
+            float(product.elements("Discount")[0].string_value())
+
+    def test_catalog_deterministic(self):
+        assert catalog_document(5, seed=7) == catalog_document(5, seed=7)
+        assert catalog_document(5, seed=7) != catalog_document(5, seed=8)
+
+    def test_recursive_document(self):
+        doc = recursive_document(10)
+        assert doc.count("<a>") == 10
+        build_tree(parse(doc))
+
+    def test_figure6_document_selectivity(self):
+        from repro.workload.queries import FIGURE6_QUERY
+        from repro.xpath.quickxscan import evaluate
+        doc = figure6_document(100, seed=2, xml_fraction=1.0,
+                               heavy_fraction=1.0)
+        matches = evaluate(FIGURE6_QUERY, parse(doc).events())
+        assert len(matches) == 100  # all blocks qualify
+        doc = figure6_document(100, seed=2, xml_fraction=0.0)
+        assert evaluate(FIGURE6_QUERY, parse(doc).events()) == []
+
+    def test_random_tree_size(self):
+        doc = random_tree(200, seed=3)
+        tree = build_tree(parse(doc))
+        n_elements = sum(1 for n in tree.descendants_or_self()
+                         if n.kind.value == "element")
+        assert abs(n_elements - 201) <= 1
+
+    def test_wide_document(self):
+        doc = wide_document(50)
+        tree = build_tree(parse(doc))
+        assert len(tree.document_element().elements("row")) == 50
+
+    def test_employee_rows(self):
+        rows = employee_rows(20, seed=4)
+        assert len(rows) == 20
+        assert all(len(row) == 4 for row in rows)
+        assert rows == employee_rows(20, seed=4)

@@ -1,0 +1,70 @@
+"""Soundness property for the path-containment test.
+
+If ``contains(index, query)`` returns True, then on every sample document
+the query's matches must be a subset of the index's matches — otherwise the
+index would be used as an incomplete candidate enumerator and results would
+be silently lost.  (The converse — completeness of the test — is not
+required; a missed mapping only costs an index opportunity.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XPathUnsupportedError
+from repro.indexes.containment import contains
+from repro.lang.parser import parse_path
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.quickxscan import evaluate
+
+_TAGS = ["a", "b", "c"]
+
+
+@st.composite
+def linear_paths(draw):
+    n_steps = draw(st.integers(min_value=1, max_value=3))
+    out = []
+    for _ in range(n_steps):
+        out.append(draw(st.sampled_from(["/", "//"])))
+        out.append(draw(st.sampled_from(_TAGS + ["*"])))
+    return "".join(out)
+
+
+@st.composite
+def sample_documents(draw, max_depth=4):
+    def build(depth):
+        tag = draw(st.sampled_from(_TAGS))
+        if depth >= max_depth:
+            return f"<{tag}>x</{tag}>"
+        n = draw(st.integers(min_value=0, max_value=2))
+        body = "".join(build(depth + 1) for _ in range(n)) or "x"
+        return f"<{tag}>{body}</{tag}>"
+
+    return build(0)
+
+
+class TestContainmentSoundness:
+    @settings(max_examples=250, deadline=None)
+    @given(linear_paths(), linear_paths(), sample_documents())
+    def test_contains_implies_match_subset(self, index_text, query_text,
+                                           doc):
+        index_path = parse_path(index_text)
+        query_path = parse_path(query_text)
+        try:
+            claimed = contains(index_path, query_path)
+        except XPathUnsupportedError:
+            return
+        if not claimed:
+            return
+        events = list(assign_node_ids(parse(doc).events()))
+        query_matches = {i.node_id for i in
+                         evaluate(query_text, iter(events))}
+        index_matches = {i.node_id for i in
+                         evaluate(index_text, iter(events))}
+        assert query_matches <= index_matches, \
+            (index_text, query_text, doc)
+
+    def test_reflexive(self):
+        for text in ("/a/b", "//a", "//a//b", "/a/*/c"):
+            path = parse_path(text)
+            assert contains(path, path)

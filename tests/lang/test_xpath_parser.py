@@ -1,0 +1,252 @@
+"""Tests for the XPath lexer, grammar, and rewrites."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError, XPathUnsupportedError
+from repro.lang.ast import (Axis, BinaryOp, FunctionCall, KindTest, Literal,
+                            LocationPath, NameTest, Step, UnaryOp)
+from repro.lang.parser import parse_path, parse_xpath
+from repro.lang.xpath_lexer import tokenize
+
+
+def steps_of(text, **kw):
+    path = parse_xpath(text, **kw)
+    assert isinstance(path, LocationPath)
+    return path.steps
+
+
+class TestLexer:
+    def test_star_disambiguation(self):
+        kinds = [t.type for t in tokenize("//*[a * 2 > 3]")]
+        assert kinds == ["DSLASH", "STAR", "LBRACK", "NAME", "MUL", "NUMBER",
+                         "GT", "NUMBER", "RBRACK"]
+
+    def test_operator_name_disambiguation(self):
+        kinds = [t.type for t in tokenize("and and and")]
+        assert kinds == ["NAME", "AND", "NAME"]
+
+    def test_div_as_element_name(self):
+        kinds = [t.type for t in tokenize("/html/div")]
+        assert kinds == ["SLASH", "NAME", "SLASH", "NAME"]
+
+    def test_axis_token(self):
+        kinds = [t.type for t in tokenize("child::a/descendant :: b")]
+        assert kinds == ["AXIS", "NAME", "SLASH", "AXIS", "NAME"]
+
+    def test_function_vs_nodetype(self):
+        tokens = tokenize("count(text())")
+        assert [t.type for t in tokens][:2] == ["FUNCNAME", "LPAREN"]
+        assert tokens[2].type == "NODETYPE"
+
+    def test_prefixed_names(self):
+        token = tokenize("p:name")[0]
+        assert token.type == "NAME"
+        assert token.value == ("p", "name")
+        star = tokenize("p:*")[0]
+        assert star.value == ("p", "*")
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .75")]
+        assert values == [1.0, 2.5, 0.75]
+
+    def test_strings_both_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+        assert tokenize('"x y"')[0].value == "x y"
+
+    def test_errors(self):
+        for bad in ["'unterminated", "a:::", "#"]:
+            with pytest.raises(XPathSyntaxError):
+                tokenize(bad)
+
+
+class TestPaths:
+    def test_simple_absolute_path(self):
+        steps = steps_of("/Catalog/Categories/Product")
+        assert [s.axis for s in steps] == [Axis.CHILD] * 3
+        assert [s.test.local for s in steps] == ["Catalog", "Categories",
+                                                 "Product"]
+
+    def test_descendant_shorthand_reduced(self):
+        """`//ProductName` normalizes to descendant::ProductName."""
+        steps = steps_of("//ProductName")
+        assert len(steps) == 1
+        assert steps[0].axis is Axis.DESCENDANT
+
+    def test_inner_descendant(self):
+        steps = steps_of("/Catalog//Discount")
+        assert [s.axis for s in steps] == [Axis.CHILD, Axis.DESCENDANT]
+
+    def test_attribute_step(self):
+        steps = steps_of("/a/@id")
+        assert steps[1].axis is Axis.ATTRIBUTE
+        assert steps[1].test.local == "id"
+
+    def test_explicit_axes(self):
+        steps = steps_of("self::a/descendant-or-self::b/child::c")
+        assert [s.axis for s in steps] == [Axis.SELF,
+                                           Axis.DESCENDANT_OR_SELF, Axis.CHILD]
+
+    def test_kind_tests(self):
+        steps = steps_of("/a/text()")
+        assert isinstance(steps[1].test, KindTest)
+        assert steps[1].test.kind == "text"
+        steps = steps_of("/a/node()")
+        assert steps[1].test.kind == "node"
+
+    def test_pi_with_target(self):
+        steps = steps_of("/a/processing-instruction('style')")
+        assert steps[1].test == KindTest("processing-instruction", "style")
+
+    def test_wildcard(self):
+        steps = steps_of("/a/*")
+        assert steps[1].test.local == "*"
+
+    def test_dot_step(self):
+        steps = steps_of("./a")
+        assert steps[0].axis is Axis.SELF
+
+    def test_root_only(self):
+        path = parse_xpath("/")
+        assert isinstance(path, LocationPath)
+        assert path.absolute and path.steps == []
+
+    def test_relative_path(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+
+
+class TestPredicates:
+    def test_value_comparison(self):
+        steps = steps_of("/Catalog/Categories/Product[RegPrice > 100]")
+        pred = steps[2].predicates[0]
+        assert isinstance(pred, BinaryOp)
+        assert pred.op == ">"
+        assert isinstance(pred.left, LocationPath)
+        assert pred.right == Literal(100.0)
+
+    def test_paper_figure6_query(self):
+        steps = steps_of('//b/s[.//t = "XML" and f/@w > 300]')
+        assert [s.axis for s in steps] == [Axis.DESCENDANT, Axis.CHILD]
+        pred = steps[1].predicates[0]
+        assert pred.op == "and"
+        assert pred.left.op == "="
+        assert pred.right.op == ">"
+        # .//t  — self step then descendant
+        left_path = pred.left.left
+        assert [s.axis for s in left_path.steps] == [Axis.SELF,
+                                                     Axis.DESCENDANT]
+
+    def test_multiple_predicates(self):
+        steps = steps_of("/a[b][c]")
+        assert len(steps[0].predicates) == 2
+
+    def test_existence_predicate(self):
+        steps = steps_of("/a[b/c]")
+        inner = steps[0].predicates[0]
+        assert isinstance(inner, LocationPath)
+
+    def test_nested_predicates(self):
+        steps = steps_of("/a[b[c > 1]]")
+        inner = steps[0].predicates[0]
+        assert inner.steps[0].predicates[0].op == ">"
+
+    def test_arithmetic_in_predicate(self):
+        steps = steps_of("/a[b + 2 * c >= -1]")
+        pred = steps[0].predicates[0]
+        assert pred.op == ">="
+        assert isinstance(pred.right, UnaryOp)
+        assert pred.left.right.op == "*"
+
+    def test_function_calls(self):
+        steps = steps_of("/a[count(b) > 2 and contains(c, 'x')]")
+        pred = steps[0].predicates[0]
+        assert isinstance(pred.left.left, FunctionCall)
+        assert pred.left.left.name == "count"
+        assert pred.right.name == "contains"
+
+
+class TestRewrites:
+    def test_parent_axis_becomes_predicate(self):
+        steps = steps_of("/a/b/..")
+        assert len(steps) == 1
+        assert steps[0].test.local == "a"
+        predicate = steps[0].predicates[0]
+        assert predicate.steps[0].test.local == "b"
+
+    def test_parent_with_name_constrains(self):
+        steps = steps_of("/a/b/parent::a")
+        assert steps[0].test.local == "a"
+
+    def test_parent_with_conflicting_name_is_unsatisfiable(self):
+        steps = steps_of("/a/b/parent::z")
+        assert steps[0].test.local == "#impossible"
+
+    def test_parent_of_wildcard(self):
+        steps = steps_of("/*/b/parent::a")
+        assert steps[0].test.local == "a"
+
+    def test_leading_parent_unsupported(self):
+        with pytest.raises(XPathUnsupportedError):
+            parse_xpath("../a")
+
+    def test_unsupported_axis(self):
+        with pytest.raises(XPathUnsupportedError):
+            parse_xpath("/a/following-sibling::b")
+
+    def test_prefix_resolution(self):
+        steps = steps_of("/p:a", namespaces={"p": "urn:x"})
+        assert steps[0].test.uri == "urn:x"
+
+    def test_unknown_prefix(self):
+        with pytest.raises(XPathUnsupportedError):
+            parse_xpath("/p:a")
+
+    def test_dos_with_predicate_not_reduced(self):
+        steps = steps_of("/descendant-or-self::node()[b]/c")
+        assert steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert len(steps) == 2
+
+
+class TestNameTestMatching:
+    def test_no_namespace_semantics(self):
+        test = NameTest("a")
+        assert test.matches("a", "")
+        assert not test.matches("a", "urn:x")
+        assert not test.matches("b", "")
+
+    def test_wildcard_matches_all(self):
+        test = NameTest("*")
+        assert test.matches("anything", "")
+
+    def test_resolved_uri(self):
+        test = NameTest("a", prefix="p", uri="urn:x")
+        assert test.matches("a", "urn:x")
+        assert not test.matches("a", "")
+
+
+class TestParseFacade:
+    def test_parse_path_requires_path(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_path("1 + 2")
+
+    def test_non_path_expression(self):
+        expr = parse_xpath("1 + 2")
+        assert isinstance(expr, BinaryOp)
+
+    def test_empty_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("   ")
+
+    def test_syntax_error_message_includes_query(self):
+        with pytest.raises(XPathSyntaxError) as err:
+            parse_xpath("/a[")
+        assert "/a[" in str(err.value)
+
+    def test_table_2_index_paths(self):
+        """All Table 2 paths parse."""
+        for text in ["/Catalog/Categories/Product/RegPrice", "//Discount",
+                     "/Catalog/Categories/Product[RegPrice > 100]",
+                     "/Catalog/Categories/Product[Discount > 0.1]",
+                     "/Catalog/Categories/Product[RegPrice > 100 and "
+                     "Discount > 0.1]"]:
+            assert parse_xpath(text) is not None

@@ -1,0 +1,152 @@
+"""Tests for constructor templates, naive construction, and XMLAGG."""
+
+import pytest
+
+from repro.core.stats import StatsRegistry
+from repro.errors import QueryError
+from repro.query.constructors import (Arg, Const, XAttr, XConcat, XElem,
+                                      XForest, XmlAggregator, arg,
+                                      compile_template, elem, forest,
+                                      naive_construct)
+from repro.rdb.buffer import BufferPool
+from repro.rdb.storage import Disk
+from repro.rdb.tablespace import TableSpace
+from repro.xdm.serializer import serialize
+
+
+def paper_spec():
+    """Fig. 5: XMLELEMENT(NAME "Emp", XMLATTRIBUTES(id, name),
+    XMLFOREST(hire, dept AS department))."""
+    return XElem("Emp",
+                 attrs=(XAttr("id", Arg(0)), XAttr("name", Arg(1))),
+                 children=(XForest((("HIRE", Arg(2)),
+                                    ("department", Arg(3)))),))
+
+
+PAPER_ARGS = (1234, "John Doe", "1998-02-01", "Accting")
+PAPER_XML = ('<Emp id="1234" name="John Doe"><HIRE>1998-02-01</HIRE>'
+             '<department>Accting</department></Emp>')
+
+
+class TestTemplate:
+    def test_paper_example(self):
+        template = compile_template(paper_spec())
+        value = template.instantiate(PAPER_ARGS)
+        assert value.serialize() == PAPER_XML
+
+    def test_template_shared_across_rows(self):
+        template = compile_template(paper_spec())
+        first = template.instantiate(PAPER_ARGS)
+        second = template.instantiate((5678, "Jane Roe", "2001-05-05", "Eng"))
+        assert first.template is second.template
+        assert 'id="5678"' in second.serialize()
+
+    def test_slot_count(self):
+        template = compile_template(paper_spec())
+        assert template.slot_count == 4
+        with pytest.raises(QueryError):
+            template.instantiate((1, 2))
+
+    def test_constant_children(self):
+        template = compile_template(elem("a", "hello ", elem("b", "world")))
+        assert template.instantiate(()).serialize() == \
+            "<a>hello <b>world</b></a>"
+
+    def test_concat(self):
+        spec = XConcat((elem("x", arg(0)), elem("y", arg(1))))
+        template = compile_template(spec)
+        out = serialize(template.instantiate(("1", "2")).events())
+        assert out == "<x>1</x><y>2</y>"
+
+    def test_forest_builder(self):
+        template = compile_template(forest(a=arg(0), b=Const("k")))
+        assert template.instantiate(("v",)).serialize() == "<a>v</a><b>k</b>"
+
+    def test_numeric_args_rendered_cleanly(self):
+        template = compile_template(elem("n", arg(0)))
+        assert template.instantiate((3.0,)).serialize() == "<n>3</n>"
+        assert template.instantiate((3.5,)).serialize() == "<n>3.5</n>"
+
+    def test_none_arg_is_empty(self):
+        template = compile_template(elem("n", arg(0)))
+        assert template.instantiate((None,)).serialize() == "<n/>"
+
+    def test_escaping_through_serializer(self):
+        template = compile_template(elem("n", arg(0), attrs={"v": arg(1)}))
+        out = template.instantiate(("a<b", 'say "hi"')).serialize()
+        assert "a&lt;b" in out
+        assert "&quot;hi&quot;" in out
+
+
+class TestNaiveBaseline:
+    def test_matches_template_output(self):
+        nodes = naive_construct(paper_spec(), PAPER_ARGS)
+        assert len(nodes) == 1
+        assert serialize(nodes[0]) == PAPER_XML
+
+    def test_many_rows_agree(self):
+        template = compile_template(paper_spec())
+        for i in range(20):
+            args = (i, f"P{i}", f"200{i % 10}-01-01", "D")
+            fast = template.instantiate(args).serialize()
+            slow = serialize(naive_construct(paper_spec(), args)[0])
+            assert fast == slow
+
+
+class TestXmlAgg:
+    def rows(self, n=10):
+        template = compile_template(elem("r", arg(0)))
+        agg = XmlAggregator()
+        keys = [(7 * i) % n for i in range(n)]
+        for key in keys:
+            agg.add(template.instantiate((str(key),)), sort_key=key)
+        return agg, sorted(keys)
+
+    def test_unordered_keeps_arrival_order(self):
+        agg, _ = self.rows(5)
+        out = agg.serialize()
+        assert out.count("<r>") == 5
+
+    def test_order_by_quicksort(self):
+        agg, expected = self.rows(10)
+        out = agg.serialize(order_by=True, sort_path="quicksort")
+        rendered = [int(x.split("</r>")[0]) for x in out.split("<r>")[1:]]
+        assert rendered == expected
+
+    def test_order_by_external_sort_matches(self):
+        agg, expected = self.rows(50)
+        space = TableSpace(BufferPool(
+            Disk(page_size=512, stats=StatsRegistry()), capacity=8))
+        out_ext = agg.serialize(order_by=True, sort_path="external",
+                                work_space=space)
+        out_quick = agg.serialize(order_by=True, sort_path="quicksort")
+        assert out_ext == out_quick
+
+    def test_external_needs_workspace(self):
+        agg, _ = self.rows(3)
+        with pytest.raises(QueryError):
+            agg.serialize(order_by=True, sort_path="external")
+
+    def test_string_sort_keys(self):
+        template = compile_template(elem("r", arg(0)))
+        agg = XmlAggregator()
+        for name in ["pear", "apple", "fig"]:
+            agg.add(template.instantiate((name,)), sort_key=name)
+        out = agg.serialize(order_by=True)
+        assert out == "<r>apple</r><r>fig</r><r>pear</r>"
+
+    def test_aggregate_over_query_results(self):
+        """XMLAGG over engine query output (pipelined, Fig. 8)."""
+        from repro.core.engine import Database
+        db = Database()
+        db.create_table("t", [("n", "bigint"), ("doc", "xml")])
+        for i in range(5):
+            db.insert("t", (i, f"<v>{i}</v>"))
+        template = compile_template(elem("item", arg(0), attrs={"n": arg(1)}))
+        agg = XmlAggregator()
+        for result in db.xpath("t", "doc", "/v"):
+            agg.add(template.instantiate(
+                (result.match.item.value, str(result.row[0]))),
+                sort_key=-result.row[0])
+        out = agg.serialize(order_by=True)
+        assert out.startswith('<item n="4">4</item>')

@@ -1,0 +1,165 @@
+"""Unit and property tests for the B+tree index manager."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import StatsRegistry
+from repro.errors import DuplicateKeyError
+from repro.rdb.btree import BTree
+from repro.rdb.buffer import BufferPool
+from repro.rdb.storage import Disk
+
+
+def make_tree(page_size=512, unique=False, capacity=64):
+    disk = Disk(page_size=page_size, stats=StatsRegistry())
+    return BTree(BufferPool(disk, capacity=capacity), unique=unique)
+
+
+class TestBasics:
+    def test_insert_search(self):
+        tree = make_tree()
+        tree.insert(b"key", b"value")
+        assert tree.search(b"key") == [b"value"]
+        assert tree.search(b"missing") == []
+
+    def test_len_tracks_entries(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(f"k{i}".encode(), b"v")
+        assert len(tree) == 10
+
+    def test_duplicate_keys_allowed(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v1")
+        tree.insert(b"k", b"v2")
+        assert sorted(tree.search(b"k")) == [b"v1", b"v2"]
+
+    def test_exact_duplicate_entry_rejected(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(b"k", b"v")
+
+    def test_unique_index_rejects_key(self):
+        tree = make_tree(unique=True)
+        tree.insert(b"k", b"v1")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(b"k", b"v2")
+
+    def test_search_one(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v")
+        assert tree.search_one(b"k") == b"v"
+        assert tree.search_one(b"zz") is None
+
+
+class TestSplitsAndOrder:
+    def test_many_inserts_sorted_scan(self):
+        tree = make_tree()
+        keys = [f"key-{i:05d}".encode() for i in range(500)]
+        shuffled = keys[:]
+        random.Random(7).shuffle(shuffled)
+        for key in shuffled:
+            tree.insert(key, b"v" + key)
+        assert tree.height() > 1  # splits happened
+        scanned = [k for k, _ in tree.scan()]
+        assert scanned == keys
+
+    def test_duplicate_runs_scan_in_value_order(self):
+        tree = make_tree(page_size=256)
+        values = [f"{i:04d}".encode() for i in range(200)]
+        shuffled = values[:]
+        random.Random(3).shuffle(shuffled)
+        for value in shuffled:
+            tree.insert(b"dup", value)
+        assert [v for _, v in tree.scan()] == values
+
+    def test_range_scan_bounds(self):
+        tree = make_tree()
+        for i in range(100):
+            tree.insert(f"{i:03d}".encode(), b"")
+        keys = [k for k, _ in tree.scan(low=b"010", high=b"020")]
+        assert keys == [f"{i:03d}".encode() for i in range(10, 20)]
+        keys_inc = [k for k, _ in tree.scan(low=b"010", high=b"020",
+                                            high_inclusive=True)]
+        assert keys_inc[-1] == b"020"
+
+    def test_scan_prefix(self):
+        tree = make_tree()
+        for key in [b"ab1", b"ab2", b"ac1", b"b"]:
+            tree.insert(key, b"")
+        assert [k for k, _ in tree.scan_prefix(b"ab")] == [b"ab1", b"ab2"]
+
+    def test_seek_ge(self):
+        tree = make_tree()
+        for i in range(0, 100, 10):
+            tree.insert(f"{i:03d}".encode(), f"v{i}".encode())
+        entry = tree.seek_ge(b"025")
+        assert entry == (b"030", b"v30")
+        assert tree.seek_ge(b"999") is None
+
+    def test_variable_length_keys(self):
+        tree = make_tree()
+        keys = [b"a", b"aa", b"aaa" * 50, b"b" * 120, b"c"]
+        for key in keys:
+            tree.insert(key, b"x")
+        assert [k for k, _ in tree.scan()] == sorted(keys)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v")
+        assert tree.delete(b"k") is True
+        assert tree.search(b"k") == []
+        assert len(tree) == 0
+
+    def test_delete_specific_value(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v1")
+        tree.insert(b"k", b"v2")
+        assert tree.delete(b"k", b"v2") is True
+        assert tree.search(b"k") == [b"v1"]
+
+    def test_delete_missing_returns_false(self):
+        tree = make_tree()
+        tree.insert(b"k", b"v")
+        assert tree.delete(b"zz") is False
+        assert tree.delete(b"k", b"wrong") is False
+
+    def test_delete_across_leaves(self):
+        tree = make_tree(page_size=256)
+        for i in range(300):
+            tree.insert(b"same", f"{i:05d}".encode())
+        assert tree.delete(b"same", b"00299") is True
+        assert tree.delete(b"same", b"00000") is True
+        assert len(tree) == 298
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.binary(min_size=1, max_size=20),
+                              st.binary(max_size=20)),
+                    min_size=1, max_size=300, unique=True))
+    def test_scan_matches_sorted_reference(self, entries):
+        tree = make_tree(page_size=256, capacity=128)
+        for key, value in entries:
+            tree.insert(key, value)
+        assert list(tree.scan()) == sorted(entries)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=12), min_size=1,
+                    max_size=200, unique=True),
+           st.data())
+    def test_insert_delete_mix(self, keys, data):
+        tree = make_tree(page_size=256, capacity=128)
+        for key in keys:
+            tree.insert(key, b"v")
+        to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+        for key in to_delete:
+            assert tree.delete(key) is True
+        remaining = sorted(set(keys) - set(to_delete))
+        assert [k for k, _ in tree.scan()] == remaining

@@ -1,0 +1,95 @@
+"""Unit tests for the binary codec primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdb import codec
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**63, 2**80])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        codec.write_uvarint(out, value)
+        decoded, pos = codec.read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            codec.write_uvarint(bytearray(), -1)
+
+    def test_size_matches_encoding(self):
+        for value in (0, 127, 128, 16383, 16384, 2**35):
+            out = bytearray()
+            codec.write_uvarint(out, value)
+            assert codec.uvarint_size(value) == len(out)
+
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        codec.write_uvarint(out, value)
+        decoded, pos = codec.read_uvarint(bytes(out), 0)
+        assert (decoded, pos) == (value, len(out))
+
+
+class TestSvarint:
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 2**40, -(2**40)])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        codec.write_svarint(out, value)
+        decoded, pos = codec.read_svarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip_property(self, value):
+        out = bytearray()
+        codec.write_svarint(out, value)
+        decoded, _ = codec.read_svarint(bytes(out), 0)
+        assert decoded == value
+
+
+class TestBytesAndStrings:
+    def test_bytes_roundtrip(self):
+        out = bytearray()
+        codec.write_bytes(out, b"hello")
+        codec.write_bytes(out, b"")
+        codec.write_bytes(out, bytes(range(256)))
+        first, pos = codec.read_bytes(bytes(out), 0)
+        second, pos = codec.read_bytes(bytes(out), pos)
+        third, pos = codec.read_bytes(bytes(out), pos)
+        assert (first, second, third) == (b"hello", b"", bytes(range(256)))
+        assert pos == len(out)
+
+    def test_str_roundtrip_unicode(self):
+        out = bytearray()
+        codec.write_str(out, "héllo wörld — ユニコード")
+        text, pos = codec.read_str(bytes(out), 0)
+        assert text == "héllo wörld — ユニコード"
+        assert pos == len(out)
+
+    def test_u32_roundtrip(self):
+        out = bytearray()
+        codec.write_u32(out, 0)
+        codec.write_u32(out, 2**32 - 1)
+        first, pos = codec.read_u32(bytes(out), 0)
+        second, pos = codec.read_u32(bytes(out), pos)
+        assert (first, second) == (0, 2**32 - 1)
+
+    def test_sequential_mixed_stream(self):
+        out = bytearray()
+        codec.write_uvarint(out, 42)
+        codec.write_str(out, "answer")
+        codec.write_bytes(out, b"\x00\x01")
+        value, pos = codec.read_uvarint(bytes(out), 0)
+        text, pos = codec.read_str(bytes(out), pos)
+        data, pos = codec.read_bytes(bytes(out), pos)
+        assert (value, text, data) == (42, "answer", b"\x00\x01")
+
+    def test_read_from_memoryview(self):
+        out = bytearray()
+        codec.write_bytes(out, b"view")
+        data, _ = codec.read_bytes(memoryview(bytes(out)), 0)
+        assert data == b"view"

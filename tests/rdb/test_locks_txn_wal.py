@@ -1,0 +1,201 @@
+"""Tests for the lock manager, transactions, and the write-ahead log."""
+
+import pytest
+
+from repro.core.stats import StatsRegistry
+from repro.errors import TransactionError
+from repro.rdb.locks import LockManager, LockMode, mode_compatible, mode_lub
+from repro.rdb.txn import IsolationLevel, TransactionManager, TxnState
+from repro.rdb.wal import LogManager, LogOp, LogRecord, replay
+
+
+class TestModeAlgebra:
+    def test_is_compatible_with_most(self):
+        for granted in (LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX):
+            assert mode_compatible(LockMode.IS, granted)
+
+    def test_x_conflicts_with_all(self):
+        for granted in LockMode:
+            assert not mode_compatible(LockMode.X, granted)
+
+    def test_ix_s_conflict(self):
+        assert not mode_compatible(LockMode.IX, LockMode.S)
+        assert not mode_compatible(LockMode.S, LockMode.IX)
+
+    def test_lub_s_ix_is_six(self):
+        assert mode_lub(LockMode.S, LockMode.IX) is LockMode.SIX
+
+    def test_lub_idempotent(self):
+        for mode in LockMode:
+            assert mode_lub(mode, mode) is mode
+
+    def test_lub_commutative(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert mode_lub(a, b) is mode_lub(b, a)
+
+
+class TestLockManager:
+    def test_grant_and_conflict(self):
+        lm = LockManager(StatsRegistry())
+        assert lm.try_acquire(1, "r", LockMode.X)
+        assert not lm.try_acquire(2, "r", LockMode.S)
+        lm.release_all(1)
+        assert lm.try_acquire(2, "r", LockMode.S)
+
+    def test_shared_readers(self):
+        lm = LockManager(StatsRegistry())
+        assert lm.try_acquire(1, "r", LockMode.S)
+        assert lm.try_acquire(2, "r", LockMode.S)
+
+    def test_upgrade(self):
+        lm = LockManager(StatsRegistry())
+        assert lm.try_acquire(1, "r", LockMode.S)
+        assert lm.try_acquire(1, "r", LockMode.X)  # upgrade, no other holder
+        assert lm.holds(1, "r", LockMode.X)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "r", LockMode.S)
+        lm.try_acquire(2, "r", LockMode.S)
+        assert not lm.try_acquire(1, "r", LockMode.X)
+        assert lm.holds(1, "r", LockMode.S)  # still holds old mode
+
+    def test_intention_locks(self):
+        lm = LockManager(StatsRegistry())
+        assert lm.try_acquire(1, "tbl", LockMode.IX)
+        assert lm.try_acquire(2, "tbl", LockMode.IX)  # IX || IX
+        assert not lm.try_acquire(3, "tbl", LockMode.S)  # S vs IX
+
+    def test_deadlock_detection(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        lm.try_acquire(2, "b", LockMode.X)
+        assert not lm.try_acquire(1, "b", LockMode.X)
+        assert not lm.try_acquire(2, "a", LockMode.X)
+        cycle = lm.find_deadlock()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_no_false_deadlock(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        assert not lm.try_acquire(2, "a", LockMode.X)
+        assert lm.find_deadlock() is None
+
+    def test_release_clears_waits(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        lm.try_acquire(2, "a", LockMode.X)
+        lm.release_all(1)
+        assert lm.find_deadlock() is None
+        assert lm.try_acquire(2, "a", LockMode.X)
+
+    def test_stats_counters(self):
+        stats = StatsRegistry()
+        lm = LockManager(stats)
+        lm.try_acquire(1, "a", LockMode.X)
+        lm.try_acquire(2, "a", LockMode.S)
+        assert stats.get("lock.acquired") == 1
+        assert stats.get("lock.waits") == 1
+
+
+class TestTransactions:
+    def test_commit_releases_locks(self):
+        tm = TransactionManager(stats=StatsRegistry())
+        txn = tm.begin()
+        txn.lock("r", LockMode.X)
+        txn.commit()
+        assert txn.state is TxnState.COMMITTED
+        other = tm.begin()
+        other.lock("r", LockMode.X)  # no conflict remains
+
+    def test_abort_runs_undo_in_reverse(self):
+        tm = TransactionManager(stats=StatsRegistry())
+        txn = tm.begin()
+        trace = []
+        txn.on_abort(lambda: trace.append("first"))
+        txn.on_abort(lambda: trace.append("second"))
+        txn.abort()
+        assert trace == ["second", "first"]
+
+    def test_finished_txn_rejects_operations(self):
+        tm = TransactionManager(stats=StatsRegistry())
+        txn = tm.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.lock("r", LockMode.S)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_blocked_lock_raises_outside_scheduler(self):
+        tm = TransactionManager(stats=StatsRegistry())
+        a, b = tm.begin(), tm.begin()
+        a.lock("r", LockMode.X)
+        with pytest.raises(TransactionError):
+            b.lock("r", LockMode.S)
+
+    def test_isolation_level_recorded(self):
+        tm = TransactionManager(stats=StatsRegistry())
+        txn = tm.begin(IsolationLevel.REPEATABLE_READ)
+        assert txn.isolation is IsolationLevel.REPEATABLE_READ
+        txn.commit()
+
+
+class TestWal:
+    def test_lsn_sequence(self):
+        log = LogManager(StatsRegistry())
+        r1 = log.append(1, LogOp.BEGIN)
+        r2 = log.append(1, LogOp.INSERT, "t", b"row")
+        assert (r1.lsn, r2.lsn) == (0, 1)
+
+    def test_record_roundtrip(self):
+        record = LogRecord(5, 2, LogOp.UPDATE, "tbl", b"new", b"old")
+        decoded, consumed = LogRecord.decode(record.encode())
+        assert decoded == record
+        assert consumed == len(record.encode())
+
+    def test_bytes_accounting(self):
+        stats = StatsRegistry()
+        log = LogManager(stats)
+        log.append(1, LogOp.INSERT, "t", b"x" * 100)
+        assert log.bytes_written > 100
+        assert stats.get("wal.bytes") == log.bytes_written
+        assert stats.get("wal.records") == 1
+
+    def test_save_load(self, tmp_path):
+        log = LogManager(StatsRegistry())
+        log.append(1, LogOp.BEGIN)
+        log.append(1, LogOp.INSERT, "t", b"payload", b"extra")
+        log.append(1, LogOp.COMMIT)
+        path = str(tmp_path / "wal.log")
+        log.save(path)
+        reloaded = LogManager.load(path)
+        assert [r.op for r in reloaded.records()] == [LogOp.BEGIN, LogOp.INSERT,
+                                                      LogOp.COMMIT]
+
+    def test_replay_committed_only(self):
+        log = LogManager(StatsRegistry())
+        log.append(1, LogOp.BEGIN)
+        log.append(1, LogOp.INSERT, "t", b"keep")
+        log.append(1, LogOp.COMMIT)
+        log.append(2, LogOp.BEGIN)
+        log.append(2, LogOp.INSERT, "t", b"lose")  # never committed
+        applied = []
+        count = replay(log, lambda r: applied.append(r.payload))
+        assert count == 1
+        assert applied == [b"keep"]
+
+    def test_replay_all(self):
+        log = LogManager(StatsRegistry())
+        log.append(1, LogOp.INSERT, "t", b"a")
+        log.append(2, LogOp.INSERT, "t", b"b")
+        applied = []
+        replay(log, lambda r: applied.append(r.payload), committed_only=False)
+        assert applied == [b"a", b"b"]
+
+    def test_truncate(self):
+        log = LogManager(StatsRegistry())
+        log.append(1, LogOp.INSERT, "t", b"a")
+        log.truncate()
+        assert list(log.records()) == []

@@ -1,0 +1,195 @@
+"""Unit tests for the simulated disk, slotted pages, and the buffer pool."""
+
+import pytest
+
+from repro.core.stats import StatsRegistry
+from repro.errors import (BufferPoolError, PageFullError, RecordNotFoundError,
+                          StorageError)
+from repro.rdb.buffer import BufferPool
+from repro.rdb.pages import SlottedPage
+from repro.rdb.storage import Disk
+
+
+@pytest.fixture
+def stats():
+    return StatsRegistry()
+
+
+@pytest.fixture
+def disk(stats):
+    return Disk(page_size=512, stats=stats)
+
+
+class TestDisk:
+    def test_allocate_and_rw(self, disk, stats):
+        pid = disk.allocate_page()
+        assert disk.read_page(pid) == bytes(512)
+        disk.write_page(pid, b"x" * 512)
+        assert disk.read_page(pid)[:1] == b"x"
+        assert stats.get("disk.page_reads") == 2
+        assert stats.get("disk.page_writes") == 1
+
+    def test_bad_page_id(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(99)
+
+    def test_wrong_write_size(self, disk):
+        pid = disk.allocate_page()
+        with pytest.raises(StorageError):
+            disk.write_page(pid, b"short")
+
+    def test_save_load_roundtrip(self, disk, tmp_path):
+        pid = disk.allocate_page()
+        disk.write_page(pid, bytes([7]) * 512)
+        path = str(tmp_path / "disk.img")
+        disk.save(path)
+        reloaded = Disk.load(path)
+        assert reloaded.page_size == 512
+        assert reloaded.read_page(pid) == bytes([7]) * 512
+
+    def test_too_small_page_size(self):
+        with pytest.raises(StorageError):
+            Disk(page_size=16)
+
+
+class TestSlottedPage:
+    def make(self, size=256):
+        return SlottedPage.format(bytearray(size))
+
+    def test_insert_read(self):
+        page = self.make()
+        slot = page.insert(b"hello")
+        assert bytes(page.read(slot)) == b"hello"
+
+    def test_multiple_records_distinct_slots(self):
+        page = self.make()
+        slots = [page.insert(bytes([i]) * 10) for i in range(5)]
+        assert len(set(slots)) == 5
+        for i, slot in enumerate(slots):
+            assert bytes(page.read(slot)) == bytes([i]) * 10
+
+    def test_delete_then_read_raises(self):
+        page = self.make()
+        slot = page.insert(b"data")
+        page.delete(slot)
+        with pytest.raises(RecordNotFoundError):
+            page.read(slot)
+
+    def test_tombstone_slot_reused(self):
+        page = self.make()
+        a = page.insert(b"a" * 8)
+        page.insert(b"b" * 8)
+        page.delete(a)
+        c = page.insert(b"c" * 8)
+        assert c == a
+        assert bytes(page.read(c)) == b"c" * 8
+
+    def test_page_full(self):
+        page = self.make(64)
+        page.insert(b"x" * 40)
+        with pytest.raises(PageFullError):
+            page.insert(b"y" * 40)
+
+    def test_compaction_reclaims_space(self):
+        page = self.make(128)
+        a = page.insert(b"a" * 30)
+        b = page.insert(b"b" * 30)
+        c = page.insert(b"c" * 30)
+        page.delete(a)
+        page.delete(c)
+        # Needs compaction: free space is fragmented.
+        d = page.insert(b"d" * 55)
+        assert bytes(page.read(d)) == b"d" * 55
+        assert bytes(page.read(b)) == b"b" * 30
+
+    def test_update_in_place_shrink(self):
+        page = self.make()
+        slot = page.insert(b"long record here")
+        page.update(slot, b"short")
+        assert bytes(page.read(slot)) == b"short"
+
+    def test_update_grow_within_page(self):
+        page = self.make()
+        slot = page.insert(b"aa")
+        other = page.insert(b"bb")
+        page.update(slot, b"a much longer record body")
+        assert bytes(page.read(slot)) == b"a much longer record body"
+        assert bytes(page.read(other)) == b"bb"
+
+    def test_update_grow_overflow_rolls_back(self):
+        page = self.make(64)
+        slot = page.insert(b"tiny")
+        with pytest.raises(PageFullError):
+            page.update(slot, b"z" * 60)
+        assert bytes(page.read(slot)) == b"tiny"
+
+    def test_records_iteration_skips_deleted(self):
+        page = self.make()
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        live = [(slot, bytes(data)) for slot, data in page.records()]
+        assert live == [(b, b"b")]
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(StorageError):
+            self.make().insert(b"")
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self, disk, stats):
+        pool = BufferPool(disk, capacity=2)
+        pid, data = pool.new_page()
+        data[0] = 42
+        pool.unpin(pid, dirty=True)
+        with pool.page(pid) as again:
+            assert again[0] == 42
+        assert stats.get("buffer.hits") == 1
+        assert stats.get("buffer.misses") == 0
+
+    def test_eviction_writes_dirty_page(self, disk, stats):
+        pool = BufferPool(disk, capacity=1)
+        pid, data = pool.new_page()
+        data[0] = 9
+        pool.unpin(pid, dirty=True)
+        pid2, _ = pool.new_page()  # forces eviction of pid
+        pool.unpin(pid2)
+        assert stats.get("buffer.evictions") == 1
+        assert disk.read_page(pid)[0] == 9
+
+    def test_refetch_after_eviction(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        pid, data = pool.new_page()
+        data[1] = 7
+        pool.unpin(pid, dirty=True)
+        pid2, _ = pool.new_page()
+        pool.unpin(pid2)
+        with pool.page(pid) as again:
+            assert again[1] == 7
+
+    def test_all_pinned_raises(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        pid, _ = pool.new_page()  # stays pinned
+        with pytest.raises(BufferPoolError):
+            pool.new_page()
+        pool.unpin(pid, dirty=True)
+
+    def test_unpin_without_pin_raises(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(123)
+
+    def test_flush_all_persists(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        pid, data = pool.new_page()
+        data[5] = 1
+        pool.unpin(pid, dirty=True)
+        pool.flush_all()
+        assert disk.read_page(pid)[5] == 1
+
+    def test_evict_all_drops_frames(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        pid, _ = pool.new_page()
+        pool.unpin(pid, dirty=True)
+        pool.evict_all()
+        assert not pool.resident(pid)

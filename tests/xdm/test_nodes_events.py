@@ -1,0 +1,162 @@
+"""Tests for the XDM node model and virtual SAX event adapters."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xdm import nodeid
+from repro.xdm.events import (EventKind, SaxEvent, assign_node_ids,
+                              build_tree, events_from_tree)
+from repro.xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
+                             ElementNode, NodeKind,
+                             ProcessingInstructionNode, TextNode, document,
+                             element, node_count)
+
+
+def sample_tree():
+    """The paper's Figure 3(a) shape: Node1..Node8 under a root."""
+    root = element("Node0", children=[
+        element("Node1", children=[
+            element("Node2", children=[
+                element("Node3", children=["three"]),
+                element("Node4", children=["four"]),
+                element("Node5", children=["five"]),
+            ]),
+            element("Node6"),
+            element("Node7", children=[element("Node8")]),
+        ]),
+    ])
+    return document(root)
+
+
+class TestNodeModel:
+    def test_seven_kinds_exist(self):
+        assert len(NodeKind) == 7
+
+    def test_element_accessors(self):
+        el = element("Product", attrs={"id": "1"}, children=["text"])
+        assert el.name == ("Product", "")
+        assert el.get_attribute("id").value == "1"
+        assert el.get_attribute("missing") is None
+        assert el.string_value() == "text"
+
+    def test_duplicate_attribute_rejected(self):
+        el = ElementNode("e")
+        el.set_attribute("a", "1")
+        with pytest.raises(XmlError):
+            el.set_attribute("a", "2")
+
+    def test_string_value_concatenates_descendants(self):
+        tree = element("a", children=[
+            "one ", element("b", children=["two"]), TextNode(" three"),
+            CommentNode("ignored"),
+        ])
+        assert tree.string_value() == "one two three"
+
+    def test_document_element(self):
+        doc = sample_tree()
+        assert doc.document_element().local == "Node0"
+
+    def test_document_rejects_attribute_children(self):
+        doc = DocumentNode()
+        with pytest.raises(XmlError):
+            doc.append(AttributeNode("a", "v"))
+
+    def test_element_rejects_document_child(self):
+        with pytest.raises(XmlError):
+            ElementNode("e").append(DocumentNode())
+
+    def test_descendants_or_self_order(self):
+        el = element("a", attrs={"x": "1"}, children=[element("b")])
+        kinds = [n.kind for n in el.descendants_or_self()]
+        assert kinds == [NodeKind.ELEMENT, NodeKind.ATTRIBUTE, NodeKind.ELEMENT]
+
+    def test_node_count(self):
+        assert node_count(sample_tree()) == 13  # doc + 9 elements + 3 texts
+
+    def test_elements_filter(self):
+        el = element("a", children=[element("b"), element("c"), element("b")])
+        assert len(el.elements("b")) == 2
+        assert len(el.elements()) == 3
+
+    def test_root(self):
+        doc = sample_tree()
+        leaf = doc.document_element().elements("Node1")[0]
+        assert leaf.root() is doc
+
+    def test_pi_and_comment_values(self):
+        pi = ProcessingInstructionNode("style", "href=x")
+        assert pi.name == ("style", "")
+        assert pi.string_value() == "href=x"
+        assert CommentNode("note").string_value() == "note"
+
+
+class TestEventRoundtrip:
+    def test_tree_events_tree(self):
+        doc = sample_tree()
+        rebuilt = build_tree(events_from_tree(doc))
+        assert isinstance(rebuilt, DocumentNode)
+        assert node_count(rebuilt) == node_count(doc)
+        assert rebuilt.string_value() == doc.string_value()
+
+    def test_fragment_roundtrip(self):
+        el = element("frag", attrs={"a": "1"}, children=["hi"])
+        rebuilt = build_tree(events_from_tree(el))
+        assert isinstance(rebuilt, ElementNode)
+        assert rebuilt.get_attribute("a").value == "1"
+
+    def test_namespace_events(self):
+        el = ElementNode("e", uri="urn:x")
+        el.declare_namespace("p", "urn:x")
+        events = list(events_from_tree(el))
+        assert events[1].kind is EventKind.NS
+        rebuilt = build_tree(iter(events))
+        assert rebuilt.namespaces[0].uri == "urn:x"
+
+    def test_deep_tree_no_recursion_error(self):
+        node = element("leaf")
+        for _ in range(3000):
+            node = element("wrap", children=[node])
+        assert sum(1 for _ in events_from_tree(node)) == 2 * 3001
+
+    def test_unbalanced_stream_rejected(self):
+        events = [SaxEvent(EventKind.ELEM_START, local="a")]
+        with pytest.raises(XmlError):
+            build_tree(iter(events))
+
+    def test_attr_outside_element_rejected(self):
+        with pytest.raises(XmlError):
+            build_tree(iter([SaxEvent(EventKind.ATTR, local="a", value="1")]))
+
+
+class TestAssignNodeIds:
+    def test_document_ids(self):
+        doc = sample_tree()
+        events = list(assign_node_ids(events_from_tree(doc)))
+        ids = [e.node_id for e in events if e.node_id is not None]
+        # Root gets the implicit empty id; all ids are valid and doc-ordered.
+        assert ids[0] == nodeid.ROOT_ID
+        non_root = ids[1:]
+        assert non_root == sorted(non_root)
+        assert len(set(non_root)) == len(non_root)
+        for abs_id in non_root:
+            nodeid.validate_absolute(abs_id)
+
+    def test_figure3_ids(self):
+        """Node1 gets 02, Node2 gets 0202, Node6 gets 0204 analogue..."""
+        doc = sample_tree()
+        events = list(assign_node_ids(events_from_tree(doc)))
+        by_name = {e.local: e.node_id for e in events
+                   if e.kind is EventKind.ELEM_START}
+        assert by_name["Node0"] == b"\x02"
+        assert by_name["Node1"] == b"\x02\x02"
+        assert by_name["Node2"] == b"\x02\x02\x02"
+        assert by_name["Node6"] == b"\x02\x02\x04"
+        assert nodeid.parent(by_name["Node8"]) == by_name["Node7"]
+
+    def test_attributes_get_ids(self):
+        el = element("a", attrs={"x": "1"}, children=[element("b")])
+        events = list(assign_node_ids(events_from_tree(el)))
+        attr = next(e for e in events if e.kind is EventKind.ATTR)
+        child = next(e for e in events if e.local == "b")
+        assert attr.node_id is not None
+        assert attr.node_id < child.node_id  # attributes precede children

@@ -1,0 +1,191 @@
+"""Tests for the packed-record format and the bottom-up tree packer."""
+
+import pytest
+
+from repro.errors import PackingError
+from repro.xdm.events import assign_node_ids
+from repro.xdm.names import NameTable
+from repro.xdm.parser import parse
+from repro.xmlstore import format as fmt
+from repro.xmlstore.packing import TreePacker, pack_document
+
+
+def pack(xml, limit=128, names=None):
+    names = names if names is not None else NameTable()
+    stream = parse(xml)
+    return pack_document(1, assign_node_ids(stream.events()), names, limit)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        header = fmt.RecordHeader(7, b"\x02\x04", (3, 9), (("p", 2), ("", 0)))
+        out = bytearray()
+        fmt.encode_header(out, header)
+        decoded, pos = fmt.decode_header(bytes(out))
+        assert decoded == header
+        assert pos == len(out)
+
+
+class TestEntryCodec:
+    def test_element_entry(self):
+        inner = fmt.encode_text(b"\x02", "hi")
+        chunk = fmt.encode_element(b"\x04", 5, 1, inner)
+        entry = fmt.parse_entry(chunk, 0)
+        assert entry.kind == fmt.EntryKind.ELEMENT
+        assert entry.rel_id == b"\x04"
+        assert entry.name_id == 5
+        assert entry.entry_count == 1
+        nested = fmt.parse_entry(chunk, entry.content_start)
+        assert nested.kind == fmt.EntryKind.TEXT
+        assert nested.text == "hi"
+        assert entry.next_pos == len(chunk)
+
+    def test_all_leaf_kinds(self):
+        cases = [
+            (fmt.encode_text(b"\x02", "t"), fmt.EntryKind.TEXT),
+            (fmt.encode_attribute(b"\x02", 3, "v"), fmt.EntryKind.ATTRIBUTE),
+            (fmt.encode_namespace(b"\x02", "p", 4), fmt.EntryKind.NAMESPACE),
+            (fmt.encode_comment(b"\x02", "c"), fmt.EntryKind.COMMENT),
+            (fmt.encode_pi(b"\x02", "tg", "d"), fmt.EntryKind.PI),
+            (fmt.encode_proxy(b"\x02\x04"), fmt.EntryKind.PROXY),
+        ]
+        for chunk, kind in cases:
+            entry = fmt.parse_entry(chunk, 0)
+            assert entry.kind == kind
+            assert entry.next_pos == len(chunk)
+
+    def test_corrupt_kind_rejected(self):
+        with pytest.raises(PackingError):
+            fmt.parse_entry(b"\x63\x00", 0)
+
+
+class TestPacker:
+    def test_small_doc_single_record(self):
+        records, node_count = pack("<a><b>x</b></a>", limit=4000)
+        assert len(records) == 1
+        assert node_count == 3  # a, b, text
+
+    def test_large_doc_splits(self):
+        xml = "<root>" + "".join(
+            f"<item><name>n{i}</name><v>{i}</v></item>" for i in range(40)
+        ) + "</root>"
+        records, node_count = pack(xml, limit=128)
+        assert len(records) > 1
+        assert node_count == 1 + 40 * 5
+
+    def test_records_sorted_by_min_node_id(self):
+        xml = "<root>" + "<x>data</x>" * 50 + "</root>"
+        records, _ = pack(xml, limit=96)
+        mins = [fmt.record_min_node_id(r) for r in records]
+        assert mins == sorted(mins)
+
+    def test_root_record_contains_root_element(self):
+        xml = "<root>" + "<x>data</x>" * 50 + "</root>"
+        records, _ = pack(xml, limit=96)
+        root_record = records[0]
+        entries = list(fmt.record_node_stream(root_record))
+        # First entry is the root element itself (context = document).
+        first_entry, first_abs, _ = entries[0]
+        assert first_entry.kind == fmt.EntryKind.ELEMENT
+        assert first_abs == b"\x02"
+
+    def test_proxies_present_when_split(self):
+        xml = "<root>" + "<x>data</x>" * 50 + "</root>"
+        records, _ = pack(xml, limit=96)
+        kinds = [e.kind for r in records for e, _, _ in fmt.record_node_stream(r)]
+        assert fmt.EntryKind.PROXY in kinds
+
+    def test_every_node_stored_exactly_once(self):
+        xml = "<root>" + "".join(
+            f"<item id='{i}'><a>x{i}</a><b>y{i}</b></item>" for i in range(30)
+        ) + "</root>"
+        records, node_count = pack(xml, limit=100)
+        seen = []
+        for record in records:
+            for entry, abs_id, _ in fmt.record_node_stream(record):
+                if entry.kind != fmt.EntryKind.PROXY:
+                    seen.append(abs_id)
+        assert len(seen) == node_count
+        assert len(set(seen)) == node_count
+
+    def test_intervals_cover_and_do_not_overlap(self):
+        xml = "<root>" + "<x><y>deep</y></x>" * 40 + "</root>"
+        records, node_count = pack(xml, limit=90)
+        all_intervals = []
+        covered = 0
+        for record in records:
+            intervals = fmt.record_intervals(record)
+            ids = [abs_id for e, abs_id, _ in fmt.record_node_stream(record)
+                   if e.kind != fmt.EntryKind.PROXY]
+            # every node of the record falls in one of its intervals
+            for abs_id in ids:
+                assert any(low <= abs_id <= high for low, high in intervals)
+                covered += 1
+            all_intervals.extend(intervals)
+        assert covered == node_count
+        # Interval ranges are disjoint across the document.
+        all_intervals.sort()
+        for (l1, h1), (l2, h2) in zip(all_intervals, all_intervals[1:]):
+            assert h1 < l2
+
+    def test_index_entry_bound(self):
+        """§3.1: packed scheme needs about 2k/p entries or fewer."""
+        xml = "<root>" + "<x>txt</x>" * 200 + "</root>"
+        records, node_count = pack(xml, limit=256)
+        intervals = sum(len(fmt.record_intervals(r)) for r in records)
+        avg_nodes_per_record = node_count / len(records)
+        assert intervals <= 2 * node_count / avg_nodes_per_record + 1
+
+    def test_packing_factor_grows_with_limit(self):
+        xml = "<root>" + "<x>some text content</x>" * 80 + "</root>"
+        small, _ = pack(xml, limit=64)
+        large, _ = pack(xml, limit=1024)
+        assert len(small) > len(large)
+
+    def test_oversized_text_node(self):
+        xml = f"<a><big>{'Z' * 5000}</big><small>s</small></a>"
+        records, _ = pack(xml, limit=128)
+        texts = [e.text for r in records for e, _, _ in fmt.record_node_stream(r)
+                 if e.kind == fmt.EntryKind.TEXT]
+        assert "Z" * 5000 in texts
+
+    def test_namespaces_in_header(self):
+        names = NameTable()
+        xml = ('<root xmlns="urn:d" xmlns:p="urn:p">'
+               + "<p:x>value text here</p:x>" * 30 + "</root>")
+        stream = parse(xml)
+        records, _ = pack_document(1, assign_node_ids(stream.events()),
+                                   names, 100)
+        # Some record has the root as context and carries its namespaces.
+        contexts = [fmt.decode_header(r)[0] for r in records]
+        with_ns = [h for h in contexts if h.namespaces]
+        assert with_ns, "expected in-scope namespaces in some record header"
+        ns_map = {p: names.uri(u) for p, u in with_ns[0].namespaces}
+        assert ns_map.get("p") == "urn:p"
+        assert ns_map.get("") == "urn:d"
+
+    def test_context_path_names(self):
+        names = NameTable()
+        xml = "<a><b>" + "<c>text content goes here</c>" * 30 + "</b></a>"
+        stream = parse(xml)
+        records, _ = pack_document(1, assign_node_ids(stream.events()),
+                                   names, 100)
+        paths = [fmt.decode_header(r)[0].context_path for r in records]
+        deep = [p for p in paths if len(p) == 2]
+        assert deep, "expected records with context path a/b"
+        assert [names.local_name(n) for n in deep[0]] == ["a", "b"]
+
+    def test_requires_node_ids(self):
+        stream = parse("<a/>")
+        packer = TreePacker(1, NameTable(), 128)
+        with pytest.raises(PackingError):
+            packer.feed(stream.events())
+
+    def test_unfinished_stream_rejected(self):
+        packer = TreePacker(1, NameTable(), 128)
+        with pytest.raises(PackingError):
+            packer.finish()
+
+    def test_record_limit_validation(self):
+        with pytest.raises(PackingError):
+            TreePacker(1, NameTable(), 4)

@@ -1,0 +1,108 @@
+"""Edge-case semantics: intermediate duplicate elimination, kind tests over
+storage, and document-level miscellany."""
+
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.domeval import evaluate_dom
+from repro.xpath.quickxscan import evaluate
+
+
+def both(query, doc):
+    events = list(assign_node_ids(parse(doc).events()))
+    stream = evaluate(query, iter(events))
+    dom = evaluate_dom(query, iter(events))
+    assert [i.node_id for i in stream] == [i.node_id for i in dom], query
+    return stream
+
+
+class TestIntermediateDeduplication:
+    """count(.//a//b) must count *distinct* b's even when nested a's would
+    deliver them through multiple propagation chains — the case the paper's
+    unpublished propagation rules address and consumption-time dedup covers."""
+
+    DOC = "<r><a><a><b>1</b></a><b>2</b></a></r>"
+
+    def test_count_over_descendant_chain(self):
+        # .//a//b from r: distinct b's = 2 (both under some a under r).
+        assert len(both("//r[count(.//a//b) = 2]", self.DOC)) == 1
+        assert both("//r[count(.//a//b) = 3]", self.DOC) == []
+
+    def test_deeper_nesting(self):
+        doc = "<r>" + "<a>" * 4 + "<b>x</b>" + "</a>" * 4 + "</r>"
+        assert len(both("//r[count(.//a//b) = 1]", doc)) == 1
+
+    def test_comparison_over_duplicated_chain(self):
+        # Existential comparison is unaffected by multiplicity, but the
+        # sequence fed to it must carry correct values.
+        assert len(both("//r[.//a//b = '2']", self.DOC)) == 1
+        assert both("//r[.//a//b = '9']", self.DOC) == []
+
+    def test_sum_over_descendant_chain(self):
+        assert len(both("//r[sum(.//a//b) = 3]", self.DOC)) == 1
+
+
+class TestKindTestsAndWildcards:
+    DOC = ("<r>top<child>in<!--note--><?pi data?></child>tail"
+           "<child>two</child></r>")
+
+    def test_all_text_nodes(self):
+        result = both("//text()", self.DOC)
+        assert [i.value for i in result] == ["top", "in", "tail", "two"]
+
+    def test_child_text_only(self):
+        result = both("/r/text()", self.DOC)
+        assert [i.value for i in result] == ["top", "tail"]
+
+    def test_comment_kind(self):
+        result = both("//comment()", self.DOC)
+        assert [i.value for i in result] == ["note"]
+
+    def test_pi_kind_with_target(self):
+        result = both("//processing-instruction('pi')", self.DOC)
+        assert len(result) == 1
+        assert both("//processing-instruction('other')", self.DOC) == []
+
+    def test_node_kind_matches_all_child_kinds(self):
+        result = both("/r/child/node()", self.DOC)
+        kinds = [i.kind for i in result]
+        assert kinds == ["text", "comment", "processing-instruction",
+                         "text"]
+
+    def test_wildcard_star_elements_only(self):
+        result = both("/r/*", self.DOC)
+        assert [i.local for i in result] == ["child", "child"]
+
+    def test_kind_tests_over_storage(self):
+        from repro.core.stats import StatsRegistry
+        from repro.rdb.buffer import BufferPool
+        from repro.rdb.storage import Disk
+        from repro.xdm.names import NameTable
+        from repro.xmlstore.store import XmlStore
+        store = XmlStore(BufferPool(Disk(1024, stats=StatsRegistry()), 64),
+                         NameTable(), record_limit=48)
+        store.insert_document_text(1, self.DOC)
+        stored = evaluate("//comment()", store.document(1).events())
+        assert [i.value for i in stored] == ["note"]
+        stored = evaluate("//text()", store.document(1).events())
+        assert [i.value for i in stored] == ["top", "in", "tail", "two"]
+
+
+class TestDocumentLevelMisc:
+    def test_doc_level_comments_and_pis(self):
+        doc = "<!--before--><?style x?><r>body</r><!--after-->"
+        result = both("//comment()", doc)
+        assert [i.value for i in result] == ["before", "after"]
+        result = both("//processing-instruction()", doc)
+        assert len(result) == 1
+
+    def test_empty_predicates_chain(self):
+        doc = "<r><a/><a><b/></a></r>"
+        assert len(both("//a[b][not(c)]", doc)) == 1
+
+    def test_or_across_branches(self):
+        doc = "<r><p><x>1</x></p><p><y>2</y></p><p><z>3</z></p></r>"
+        assert len(both("//p[x or y]", doc)) == 2
+
+    def test_numeric_string_coercion_in_predicates(self):
+        doc = "<r><v>007</v><v>7.0</v><v>8</v></r>"
+        assert len(both("//v[. = 7]", doc)) == 2  # numeric comparison

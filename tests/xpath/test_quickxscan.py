@@ -1,0 +1,242 @@
+"""Tests for QuickXScan, cross-checked against the DOM baseline."""
+
+import pytest
+
+from repro.core.stats import StatsRegistry
+from repro.lang.parser import parse_xpath
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.domeval import evaluate_dom
+from repro.xpath.qtree import compile_query
+from repro.xpath.quickxscan import QuickXScan, evaluate
+
+PAPER_DOC = (
+    "<r>"
+    "<b><s><t>XML</t><f w='400'>body</f></s></b>"
+    "<b><s><u><t>XML</t></u><f w='100'>cheap</f></s>"
+    "<s><t>SGML</t><f w='500'>other</f></s></b>"
+    "<x><b><s><t>XML</t><f w='350'>deep</f></s></b></x>"
+    "</r>"
+)
+
+CATALOG_DOC = (
+    "<Catalog><Categories>"
+    "<Product id='p1'><ProductName>Widget</ProductName>"
+    "<RegPrice>120.5</RegPrice><Discount>0.15</Discount></Product>"
+    "<Product id='p2'><ProductName>Gadget</ProductName>"
+    "<RegPrice>80</RegPrice><Discount>0.05</Discount></Product>"
+    "<Product id='p3'><ProductName>Nut</ProductName>"
+    "<RegPrice>150</RegPrice><Discount>0.30</Discount></Product>"
+    "</Categories></Catalog>"
+)
+
+RECURSIVE_DOC = (
+    "<a><a><b>x1</b><a><b>x2</b></a></a><b>x3</b>"
+    "<c><a><b>x4</b></a></c></a>"
+)
+
+
+def xscan(query, doc):
+    events = assign_node_ids(parse(doc).events())
+    return evaluate(query, events)
+
+
+def dom(query, doc):
+    return evaluate_dom(query, parse(doc).events())
+
+
+def both_agree(query, doc):
+    """Run both evaluators; assert identical results; return QuickXScan's."""
+    stream_result = xscan(query, doc)
+    dom_result = dom(query, doc)
+    assert [(i.kind, i.local, i.value) for i in stream_result] == \
+        [(i.kind, i.local, i.value) for i in dom_result], query
+    return stream_result
+
+
+class TestSimplePaths:
+    def test_child_path(self):
+        result = both_agree("/Catalog/Categories/Product", CATALOG_DOC)
+        assert len(result) == 3
+        assert all(i.local == "Product" for i in result)
+
+    def test_descendant(self):
+        result = both_agree("//ProductName", CATALOG_DOC)
+        assert [i.value for i in result] == ["Widget", "Gadget", "Nut"]
+
+    def test_inner_descendant(self):
+        result = both_agree("/Catalog//Discount", CATALOG_DOC)
+        assert len(result) == 3
+
+    def test_attribute(self):
+        result = both_agree("/Catalog/Categories/Product/@id", CATALOG_DOC)
+        assert [i.value for i in result] == ["p1", "p2", "p3"]
+
+    def test_descendant_attribute(self):
+        result = both_agree("//@id", CATALOG_DOC)
+        assert len(result) == 3
+
+    def test_wildcard(self):
+        result = both_agree("/Catalog/Categories/*", CATALOG_DOC)
+        assert len(result) == 3
+
+    def test_text_kind(self):
+        result = both_agree("//ProductName/text()", CATALOG_DOC)
+        assert [i.value for i in result] == ["Widget", "Gadget", "Nut"]
+
+    def test_no_match(self):
+        assert both_agree("/Nothing", CATALOG_DOC) == []
+
+    def test_root_path(self):
+        result = xscan("/", CATALOG_DOC)
+        assert len(result) == 1
+        assert result[0].kind == "document"
+
+    def test_results_in_document_order(self):
+        result = both_agree("//b", RECURSIVE_DOC)
+        orders = [i.order for i in result]
+        assert orders == sorted(orders)
+        assert len(result) == 4
+
+    def test_recursive_descendant_no_duplicates(self):
+        result = both_agree("//a//b", RECURSIVE_DOC)
+        assert len(result) == 4  # every b is under some a
+
+    def test_recursive_chain(self):
+        result = both_agree("//a//a//b", RECURSIVE_DOC)
+        # b's under at least two nested a's: x1, x2 and... a/a/b=x1,
+        # a/a/a/b=x2; c/a is under outer a: x4 (a > c > a). x3 is not.
+        assert sorted(i.value for i in result) == ["x1", "x2", "x4"]
+
+
+class TestPredicates:
+    def test_value_comparison(self):
+        result = both_agree(
+            "/Catalog/Categories/Product[RegPrice > 100]", CATALOG_DOC)
+        assert len(result) == 2
+
+    def test_equality_string(self):
+        result = both_agree(
+            "/Catalog/Categories/Product[ProductName = 'Gadget']",
+            CATALOG_DOC)
+        assert len(result) == 1
+
+    def test_and_or(self):
+        result = both_agree(
+            "/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]",
+            CATALOG_DOC)
+        assert len(result) == 2
+        result = both_agree(
+            "/Catalog/Categories/Product[RegPrice > 140 or Discount < 0.1]",
+            CATALOG_DOC)
+        assert len(result) == 2
+
+    def test_paper_figure6_query(self):
+        result = both_agree('//b/s[.//t = "XML" and f/@w > 300]', PAPER_DOC)
+        assert len(result) == 2  # the 400 and the 350 (deep) cases
+
+    def test_existence_predicate(self):
+        result = both_agree("//Product[Discount]", CATALOG_DOC)
+        assert len(result) == 3
+
+    def test_attribute_predicate(self):
+        result = both_agree("//Product[@id = 'p2']/ProductName", CATALOG_DOC)
+        assert [i.value for i in result] == ["Gadget"]
+
+    def test_count_function(self):
+        result = both_agree("//Categories[count(Product) = 3]", CATALOG_DOC)
+        assert len(result) == 1
+        assert both_agree("//Categories[count(Product) = 2]",
+                          CATALOG_DOC) == []
+
+    def test_contains_function(self):
+        result = both_agree("//Product[contains(ProductName, 'dget')]",
+                            CATALOG_DOC)
+        assert len(result) == 2
+
+    def test_not_function(self):
+        result = both_agree("//Product[not(Discount > 0.1)]", CATALOG_DOC)
+        assert len(result) == 1
+
+    def test_self_comparison(self):
+        result = both_agree("//ProductName[. = 'Widget']", CATALOG_DOC)
+        assert len(result) == 1
+
+    def test_nested_predicates(self):
+        result = both_agree("//b[s[t = 'XML']]", PAPER_DOC)
+        assert len(result) == 2  # first b and the deep b (u-nested t no)
+
+    def test_predicate_on_descendant_branch(self):
+        result = both_agree("//b[.//t = 'SGML']", PAPER_DOC)
+        assert len(result) == 1
+
+    def test_multiple_predicates(self):
+        result = both_agree(
+            "/Catalog/Categories/Product[RegPrice > 100][Discount > 0.2]",
+            CATALOG_DOC)
+        assert len(result) == 1
+
+    def test_arithmetic_predicate(self):
+        result = both_agree(
+            "/Catalog/Categories/Product[RegPrice * 2 > 250]", CATALOG_DOC)
+        assert len(result) == 1  # only 150*2 exceeds 250
+
+    def test_parent_axis_rewrite_end_to_end(self):
+        result = both_agree("//t/..", PAPER_DOC)
+        dom_names = {i.local for i in result}
+        assert dom_names == {"s", "u"}
+
+
+class TestStateBounds:
+    def test_peak_units_bounded_by_q_times_r(self):
+        """§4.2: O(|Q|·r) matching units at any time."""
+        depth = 30
+        doc = "<a>" * depth + "<b>x</b>" + "</a>" * depth
+        stats = StatsRegistry()
+        query = compile_query(parse_xpath("//a//a//b"))
+        events = assign_node_ids(parse(doc).events())
+        QuickXScan(query, stats=stats).run(events)
+        peak = stats.gauge("xscan.peak_units")
+        recursion = depth  # every nested a has the same name
+        assert peak <= query.size * recursion + 2
+
+    def test_events_counted(self):
+        stats = StatsRegistry()
+        query = compile_query(parse_xpath("//b"))
+        events = assign_node_ids(parse(PAPER_DOC).events())
+        QuickXScan(query, stats=stats).run(events)
+        assert stats.get("xscan.events") > 0
+        assert stats.get("xscan.matchings") >= 3
+
+    def test_single_pass(self):
+        """The evaluator must consume the stream exactly once."""
+        count = 0
+
+        def counting():
+            nonlocal count
+            for event in assign_node_ids(parse(CATALOG_DOC).events()):
+                count += 1
+                yield event
+
+        evaluate("//Product", counting())
+        total_events = sum(1 for _ in parse(CATALOG_DOC).events())
+        assert count == total_events
+
+
+class TestOverStoredData:
+    def test_runs_on_persistent_records(self, tmp_path):
+        """Fig. 8: the same evaluator over the persistent-data iterator."""
+        from repro.core.stats import StatsRegistry
+        from repro.rdb.buffer import BufferPool
+        from repro.rdb.storage import Disk
+        from repro.xdm.names import NameTable
+        from repro.xmlstore.store import XmlStore
+        store = XmlStore(BufferPool(Disk(page_size=4096,
+                                         stats=StatsRegistry()), 64),
+                         NameTable(), record_limit=64)
+        store.insert_document_text(1, CATALOG_DOC)
+        result = evaluate("/Catalog/Categories/Product[RegPrice > 100]",
+                          store.document(1).events())
+        assert len(result) == 2
+        # Node ids from storage are present and usable.
+        assert all(r.node_id is not None for r in result)

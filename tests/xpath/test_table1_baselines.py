@@ -1,0 +1,164 @@
+"""Table-1 propagation scenarios and the baseline evaluators (E5 backing)."""
+
+import pytest
+
+from repro.core.stats import StatsRegistry
+from repro.errors import XPathUnsupportedError
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.automaton import NaiveStreamEvaluator, evaluate_naive
+from repro.xpath.domeval import evaluate_dom
+from repro.xpath.quickxscan import evaluate
+
+
+def xscan(query, doc):
+    return evaluate(query, assign_node_ids(parse(doc).events()))
+
+
+def values(result):
+    return sorted(i.value for i in result)
+
+
+class TestTable1Propagation:
+    """The four matching shapes of Table 1 (§4.2).
+
+    Each case checks the sequence-valued attribute (here surfaced as the
+    count/content of a predicate branch) is complete and duplicate-free.
+    """
+
+    def test_case1_single_a_child_b(self):
+        # Path a/b, one a with several b children.
+        doc = "<a><b>1</b><x/><b>2</b></a>"
+        result = xscan("/a/b", doc)
+        assert values(result) == ["1", "2"]
+        # The sequence attribute: count(b) at a.
+        assert len(xscan("/a[count(b) = 2]", doc)) == 1
+
+    def test_case2_nested_a_child_b(self):
+        # Path a//... here: nested a's, each with direct b children; the b
+        # sequences must stay per-instance (no sideways for child axis).
+        doc = "<a><b>outer</b><a><b>inner</b></a></a>"
+        result = xscan("//a/b", doc)
+        assert values(result) == ["inner", "outer"]
+        # Each a sees only its own children.
+        assert len(xscan("//a[count(b) = 1]", doc)) == 2
+        assert len(xscan("//a[count(b) = 2]", doc)) == 0
+
+    def test_case3_single_a_descendant_b(self):
+        # Path a//b with b's nested inside b's: sideways accumulation of
+        # descendant-or-self sequences, no duplicates.
+        doc = "<a><b>x<b>y</b></b></a>"
+        result = xscan("/a//b", doc)
+        assert len(result) == 2
+        assert len(xscan("/a[count(.//b) = 2]", doc)) == 1
+
+    def test_case4_nested_a_descendant_b(self):
+        # Path a//b with nested a's AND nested b's: full transitivity.
+        doc = "<a><a><b>1<b>2</b></b></a><b>3</b></a>"
+        outer_count = xscan("/a[count(.//b) = 3]", doc)
+        assert len(outer_count) == 1  # outer a sees b1, b2, b3
+        inner_count = xscan("/a/a[count(.//b) = 2]", doc)
+        assert len(inner_count) == 1  # inner a sees b1, b2
+        result = xscan("//a//b", doc)
+        assert len(result) == 3  # duplicate-free result sequence
+
+    def test_deep_recursion_duplicate_free(self):
+        depth = 12
+        doc = "<a>" * depth + "<b>leaf</b>" + "</a>" * depth
+        result = xscan("//a//b", doc)
+        assert len(result) == 1  # one b, reachable through many a's
+
+
+class TestDomBaseline:
+    def test_matches_quickxscan_on_catalog(self):
+        doc = ("<c><p><v>1</v></p><p><v>2</v></p></c>")
+        dom_result = evaluate_dom("//p[v > 1]", parse(doc).events())
+        stream_result = xscan("//p[v > 1]", doc)
+        assert len(dom_result) == len(stream_result) == 1
+
+    def test_tree_node_gauge(self):
+        stats = StatsRegistry()
+        evaluate_dom("//b", parse("<a><b/><b/></a>").events(), stats=stats)
+        assert stats.gauge("domeval.tree_nodes") == 4  # doc, a, b, b
+
+    def test_parent_axis_native(self):
+        from repro.lang import ast
+        path = ast.LocationPath(True, [
+            ast.Step(ast.Axis.DESCENDANT, ast.NameTest("b")),
+            ast.Step(ast.Axis.PARENT, ast.KindTest("node")),
+        ])
+        result = evaluate_dom(path, parse("<a><b/></a>").events())
+        assert [i.local for i in result] == ["a"]
+
+
+class TestNaiveAutomaton:
+    def test_results_match_quickxscan(self):
+        doc = "<r><b><s/></b><x><b><s/><s/></b></x></r>"
+        naive = evaluate_naive(
+            "//b/s", assign_node_ids(parse(doc).events()))
+        stream = xscan("//b/s", doc)
+        assert len(naive) == len(stream) == 3
+
+    def test_absolute_child_path(self):
+        doc = "<r><a><b>hit</b></a><b>miss</b></r>"
+        naive = evaluate_naive("/r/a/b",
+                               assign_node_ids(parse(doc).events()))
+        assert len(naive) == 1
+
+    def test_attribute_step(self):
+        doc = "<r><p id='1'/><q id='2'/></r>"
+        naive = evaluate_naive("//p/@id",
+                               assign_node_ids(parse(doc).events()))
+        assert [i.value for i in naive] == ["1"]
+
+    def test_state_explosion_on_recursive_data(self):
+        """Fig. 7(c): //a//a//a over nested a's explodes; QuickXScan stays
+        linear in the recursion depth."""
+        depth = 24
+        doc = "<a>" * depth + "</a>" * depth
+        events = list(assign_node_ids(parse(doc).events()))
+
+        naive = NaiveStreamEvaluator("//a//a//a//a")
+        naive_result = naive.run(iter(events))
+
+        stats = StatsRegistry()
+        stream_result = evaluate("//a//a//a//a", iter(events), stats=stats)
+        assert {i.node_id for i in naive_result} == \
+            {i.node_id for i in stream_result}
+        qx_peak = stats.gauge("xscan.peak_units")
+        # Naive instances grow quadratically+ with depth; QuickXScan linearly.
+        assert naive.peak_instances > 10 * qx_peak
+
+    def test_rejects_predicates(self):
+        with pytest.raises(XPathUnsupportedError):
+            NaiveStreamEvaluator("//a[b]")
+
+    def test_rejects_kind_tests(self):
+        with pytest.raises(XPathUnsupportedError):
+            NaiveStreamEvaluator("//text()")
+
+
+class TestThreeWayAgreement:
+    """Property-style: all three evaluators agree on predicate-free paths."""
+
+    DOCS = [
+        "<r><a><b/></a><b/><c><a><b/><d><b/></d></a></c></r>",
+        "<a><a><a><b/></a></a><b/></a>",
+        "<r><x y='1'><x y='2'><x y='3'/></x></x></r>",
+    ]
+    QUERIES = ["//b", "//a/b", "//a//b", "/r//b", "//x/@y", "//a/a"]
+
+    @pytest.mark.parametrize("doc", DOCS)
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_agree(self, doc, query):
+        events = list(assign_node_ids(parse(doc).events()))
+        stream = evaluate(query, iter(events))
+        dom_result = evaluate_dom(query, iter(events))
+        try:
+            naive = evaluate_naive(query, iter(events))
+        except XPathUnsupportedError:
+            naive = None
+        stream_ids = [i.node_id for i in stream]
+        assert stream_ids == [i.node_id for i in dom_result], (query, doc)
+        if naive is not None:
+            assert stream_ids == [i.node_id for i in naive], (query, doc)

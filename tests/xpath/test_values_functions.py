@@ -1,0 +1,148 @@
+"""Tests for XPath value semantics and the core function library."""
+
+import math
+
+import pytest
+
+from repro.errors import TypeError_, XPathUnsupportedError
+from repro.xpath import functions
+from repro.xpath.values import (Item, arithmetic, effective_boolean,
+                                general_compare, to_number, to_string)
+
+
+def items(*values):
+    return [Item(i, None, "element", "x", v) for i, v in enumerate(values)]
+
+
+class TestCoercions:
+    def test_effective_boolean(self):
+        assert effective_boolean(True) is True
+        assert effective_boolean(0.0) is False
+        assert effective_boolean(float("nan")) is False
+        assert effective_boolean(1.5) is True
+        assert effective_boolean("") is False
+        assert effective_boolean("x") is True
+        assert effective_boolean([]) is False
+        assert effective_boolean(items("a")) is True
+
+    def test_to_number(self):
+        assert to_number("42") == 42.0
+        assert to_number(" 3.5 ") == 3.5
+        assert math.isnan(to_number("abc"))
+        assert to_number(True) == 1.0
+        assert math.isnan(to_number([]))
+        assert to_number(items("7", "9")) == 7.0  # first in document order
+
+    def test_to_string(self):
+        assert to_string(3.0) == "3"
+        assert to_string(3.25) == "3.25"
+        assert to_string(float("nan")) == "NaN"
+        assert to_string(True) == "true"
+        assert to_string([]) == ""
+        assert to_string(items("first", "second")) == "first"
+
+    def test_uncollected_value_raises(self):
+        bad = [Item(0, None, "element", "x", None)]
+        with pytest.raises(TypeError_):
+            to_string(bad)
+
+
+class TestGeneralComparison:
+    def test_atomic(self):
+        assert general_compare("=", "a", "a")
+        assert general_compare("!=", "a", "b")
+        assert general_compare("<", 1.0, 2.0)
+        assert not general_compare(">", 1.0, 2.0)
+
+    def test_string_vs_number(self):
+        assert general_compare("=", "10", 10.0)
+        assert general_compare(">", "10", 9.0)
+
+    def test_nodeset_vs_literal_existential(self):
+        seq = items("5", "20", "abc")
+        assert general_compare(">", seq, 10.0)       # 20 > 10
+        assert not general_compare(">", seq, 30.0)
+        assert general_compare("=", seq, "abc")
+
+    def test_literal_vs_nodeset_flips(self):
+        seq = items("5", "20")
+        assert general_compare("<", 10.0, seq)       # 10 < 20
+        assert not general_compare("<", 25.0, seq)
+
+    def test_nodeset_vs_nodeset(self):
+        assert general_compare("=", items("a", "b"), items("c", "b"))
+        assert not general_compare("=", items("a"), items("b"))
+
+    def test_empty_nodeset_never_compares(self):
+        assert not general_compare("=", [], [])
+        assert not general_compare("=", [], "anything")
+        assert not general_compare("<", [], 5.0)
+
+    def test_nan_ordering_false(self):
+        assert not general_compare("<", "abc", 5.0)
+        assert not general_compare(">=", "abc", 5.0)
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert arithmetic("+", 1.0, 2.0) == 3.0
+        assert arithmetic("-", 1.0, 2.0) == -1.0
+        assert arithmetic("*", 3.0, 4.0) == 12.0
+        assert arithmetic("div", 7.0, 2.0) == 3.5
+        assert arithmetic("mod", 7.0, 2.0) == 1.0
+
+    def test_div_by_zero(self):
+        assert arithmetic("div", 1.0, 0.0) == math.inf
+        assert arithmetic("div", -1.0, 0.0) == -math.inf
+        assert math.isnan(arithmetic("div", 0.0, 0.0))
+        assert math.isnan(arithmetic("mod", 1.0, 0.0))
+
+    def test_string_coercion(self):
+        assert arithmetic("+", "2", "3") == 5.0
+
+
+class TestFunctions:
+    def test_count(self):
+        assert functions.call("count", [items("a", "b")]) == 2.0
+        with pytest.raises(TypeError_):
+            functions.call("count", ["notseq"])
+
+    def test_existence(self):
+        assert functions.call("exists", [items("a")]) is True
+        assert functions.call("empty", [[]]) is True
+
+    def test_boolean_family(self):
+        assert functions.call("not", [[]]) is True
+        assert functions.call("boolean", ["x"]) is True
+        assert functions.call("true", []) is True
+        assert functions.call("false", []) is False
+
+    def test_string_family(self):
+        assert functions.call("contains", ["hello", "ell"]) is True
+        assert functions.call("starts-with", ["hello", "he"]) is True
+        assert functions.call("string-length", ["abc"]) == 3.0
+        assert functions.call("normalize-space", ["  a   b "]) == "a b"
+        assert functions.call("substring", ["hello", 2.0, 3.0]) == "ell"
+        assert functions.call("substring", ["hello", 3.0]) == "llo"
+
+    def test_numeric_family(self):
+        assert functions.call("floor", [2.7]) == 2.0
+        assert functions.call("ceiling", [2.1]) == 3.0
+        assert functions.call("round", [2.5]) == 3.0
+        assert functions.call("round", [-2.5]) == -2.0
+        assert functions.call("sum", [items("1", "2", "3")]) == 6.0
+
+    def test_arity_checked(self):
+        with pytest.raises(TypeError_):
+            functions.call("count", [])
+        with pytest.raises(TypeError_):
+            functions.call("contains", ["only one"])
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathUnsupportedError):
+            functions.call("mystery", [])
+
+    def test_value_needed_flags(self):
+        assert not functions.value_needed("count", 0)
+        assert not functions.value_needed("exists", 0)
+        assert functions.value_needed("contains", 0)
