@@ -26,6 +26,18 @@ class EngineConfig:
             splits.
         lock_timeout_steps: Deterministic-scheduler steps a lock request may
             wait before timing out (concurrency experiments).
+        lock_wait_budget: Simulated wait steps an *interactive*
+            ``Transaction.lock`` call spends retrying a blocked request
+            before raising ``LockTimeoutError``.
+        lock_backoff_initial / lock_backoff_cap: Bounded exponential
+            backoff between lock retries, in simulated steps: the wait
+            starts at the initial value and doubles per retry up to the cap.
+        txn_retry_limit: How many times the engine's ``run_in_txn`` retries
+            a transaction aborted as a deadlock or timeout victim before
+            giving up.
+        checkpoint_interval: Commits between automatic WAL checkpoints
+            (0 disables automatic checkpointing; ``Database.checkpoint``
+            is always available).
         mvcc_retained_versions: How many committed document versions the
             versioned NodeID index keeps before garbage collection.
         validate_on_insert: Whether document inserts run schema validation
@@ -37,6 +49,11 @@ class EngineConfig:
     record_size_limit: int = 1024
     btree_order_bytes: int = 3500
     lock_timeout_steps: int = 10_000
+    lock_wait_budget: int = 64
+    lock_backoff_initial: int = 1
+    lock_backoff_cap: int = 16
+    txn_retry_limit: int = 5
+    checkpoint_interval: int = 0
     mvcc_retained_versions: int = 4
     validate_on_insert: bool = True
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 from decimal import Decimal
+from typing import Callable, TypeVar
 
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.stats import StatsRegistry
-from repro.errors import CatalogError, DocumentNotFoundError, QueryError
+from repro.errors import (CatalogError, DeadlockError, DocumentNotFoundError,
+                          LockTimeoutError, QueryError)
 from repro.indexes.definition import XPathIndexDefinition
 from repro.indexes.manager import XPathValueIndex
 from repro.lang import ast
@@ -34,7 +36,7 @@ from repro.rdb.catalog import Catalog, ColumnDef, IndexDef, TableDef
 from repro.rdb.storage import Disk
 from repro.rdb.table import Table
 from repro.rdb.tablespace import Rid
-from repro.rdb.txn import TransactionManager
+from repro.rdb.txn import IsolationLevel, TransactionManager, TxnState
 from repro.rdb.values import SqlType
 from repro.rdb.wal import LogManager, LogOp, replay as wal_replay
 from repro.xdm.serializer import serialize
@@ -56,18 +58,40 @@ class XPathResult:
         return self.match.item.node_id
 
 
+_T = TypeVar("_T")
+
+
 class Database:
-    """One engine instance: relational services + XML services."""
+    """One engine instance: relational services + XML services.
+
+    Passing a :class:`~repro.fault.injector.FaultInjector` threads a fault
+    plan through the whole storage stack: the device is wrapped in a
+    :class:`~repro.fault.disk.FaultyDisk` and the log manager fires the
+    injector's crash points, so any workload can run under injected
+    failures without further plumbing.
+    """
 
     def __init__(self, config: EngineConfig = DEFAULT_CONFIG,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 injector: "object | None" = None) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
-        self.disk = Disk(config.page_size, stats=self.stats)
+        self.injector = injector
+        disk = Disk(config.page_size, stats=self.stats)
+        if injector is not None:
+            from repro.fault.disk import FaultyDisk
+            disk = FaultyDisk(disk, injector)
+        self.disk = disk
         self.pool = BufferPool(self.disk, capacity=config.buffer_pool_pages)
         self.catalog = Catalog()
-        self.log = LogManager(stats=self.stats)
-        self.txns = TransactionManager(log=self.log, stats=self.stats)
+        self.log = LogManager(stats=self.stats, injector=injector)
+        self.txns = TransactionManager(
+            log=self.log, stats=self.stats,
+            lock_wait_budget=config.lock_wait_budget,
+            lock_backoff_initial=config.lock_backoff_initial,
+            lock_backoff_cap=config.lock_backoff_cap,
+            checkpoint_every=config.checkpoint_interval,
+            on_checkpoint=self.pool.flush_all)
         self.tables: dict[str, Table] = {}
         self.xml_stores: dict[tuple[str, str], XmlStore] = {}
         self.docid_indexes: dict[str, BTree] = {}
@@ -256,6 +280,50 @@ class Database:
     def get_document(self, table: str, column: str, docid: int) -> str:
         """Full serialized document for a DocID."""
         return serialize(self._store(table, column).document(docid).events())
+
+    # -- transactions and fault tolerance ------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush dirty pages and write a WAL CHECKPOINT record.
+
+        Recovery's analysis pass starts at the newest checkpoint, so regular
+        checkpointing bounds how much log a restart has to analyse (§2's
+        reused relational recovery machinery).
+        """
+        self.txns.checkpoint()
+
+    def run_in_txn(self, body: Callable[["Database", object], _T],
+                   isolation: IsolationLevel | None = None,
+                   retries: int | None = None) -> _T:
+        """Run ``body(db, txn)`` in a transaction, retrying victims.
+
+        Commits on success and returns ``body``'s result.  On any engine
+        error the transaction is aborted (undoing its changes); if the
+        error was a deadlock or lock timeout the transaction is retried
+        from scratch, up to ``retries`` times (default
+        ``config.txn_retry_limit``), before the last error propagates.
+        """
+        limit = self.config.txn_retry_limit if retries is None else retries
+        attempt = 0
+        while True:
+            txn = self.txns.begin(isolation or IsolationLevel.READ_COMMITTED)
+            try:
+                result = body(self, txn)
+            except (DeadlockError, LockTimeoutError):
+                if txn.state is TxnState.ACTIVE:
+                    txn.abort()
+                if attempt >= limit:
+                    raise
+                attempt += 1
+                self.stats.add("txn.retries")
+                continue
+            except BaseException:
+                if txn.state is TxnState.ACTIVE:
+                    txn.abort()
+                raise
+            if txn.state is TxnState.ACTIVE:
+                txn.commit()
+            return result
 
     # -- recovery -----------------------------------------------------------------------
 

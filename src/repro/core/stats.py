@@ -29,10 +29,22 @@ class StatsRegistry:
         index-manager traffic
     ``ts.records_read`` / ``ts.records_inserted`` / ``ts.bytes_touched``
         table-space record traffic
-    ``wal.records`` / ``wal.bytes``
-        log volume
-    ``lock.acquired`` / ``lock.waits`` / ``lock.deadlocks``
+    ``wal.records`` / ``wal.bytes`` / ``wal.checkpoints``
+        log volume and checkpoint activity
+    ``lock.acquired`` / ``lock.waits`` / ``lock.wait_steps`` /
+    ``lock.deadlocks``
         lock-manager behaviour
+    ``txn.begun`` / ``txn.aborts`` / ``txn.retries`` /
+    ``txn.deadlock_aborts`` / ``txn.timeout_aborts`` /
+    ``txn.deadlocks`` / ``txn.lock_timeouts``
+        transaction outcomes, including deadlock/timeout victims and the
+        retry machinery
+    ``fault.injected`` / ``fault.crashes`` / ``disk.checksum_failures``
+        fault-injection activity and checksum verification failures
+    ``recovery.replayed`` / ``recovery.torn_tail_dropped`` /
+    ``recovery.from_checkpoint``
+        restart-recovery behaviour (records redone, torn WAL tails
+        dropped, analysis passes started from a checkpoint)
     ``xscan.events`` / ``xscan.matchings`` / ``xscan.peak_units``
         QuickXScan work
     """

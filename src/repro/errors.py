@@ -28,6 +28,14 @@ class BufferPoolError(StorageError):
     """Buffer-pool misuse (e.g. no evictable frame because all are pinned)."""
 
 
+class ChecksumError(StorageError):
+    """Stored data failed checksum verification (torn write or bit rot)."""
+
+
+class FaultInjectionError(StorageError):
+    """An injected I/O failure from a fault plan (see :mod:`repro.fault`)."""
+
+
 class IndexError_(ReproError):
     """B+tree / index manager failure.
 

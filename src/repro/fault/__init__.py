@@ -1,0 +1,35 @@
+"""Fault injection and crash-recovery testing.
+
+The paper's premise (§2) is that a native XML engine inherits *mature*
+relational infrastructure — logging, backup and recovery reused unchanged.
+That claim is only credible if the storage stack actually survives torn
+writes, bit rot and crashes, so this package provides the machinery to
+prove it:
+
+* :class:`~repro.fault.injector.FaultInjector` — deterministic, seedable
+  fault plans (fail the Nth page write, torn write, bit flip on read,
+  crash at a named point).
+* :class:`~repro.fault.disk.FaultyDisk` — a
+  :class:`~repro.rdb.storage.Disk`-interface wrapper that applies a plan.
+* :class:`~repro.fault.harness.CrashHarness` — runs an engine workload to
+  a crash point, simulates a restart from the persisted WAL and device
+  image, and checks the recovered database equals the committed prefix.
+"""
+
+from repro.fault.disk import FaultyDisk
+from repro.fault.harness import (CrashHarness, CrashOutcome, database_digest,
+                                 verify_value_indexes)
+from repro.fault.injector import (FaultInjector, FaultPlan, FaultSpec,
+                                  SimulatedCrash)
+
+__all__ = [
+    "CrashHarness",
+    "CrashOutcome",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyDisk",
+    "SimulatedCrash",
+    "database_digest",
+    "verify_value_indexes",
+]

@@ -1,0 +1,94 @@
+"""A Disk-interface wrapper that applies a fault plan to physical I/O.
+
+:class:`FaultyDisk` sits where the device driver would: between the buffer
+pool and the stored page array.  It conforms to the
+:class:`~repro.rdb.storage.Disk` interface, so any component (buffer pool,
+table space, B+tree) runs unmodified under a fault plan.
+
+Fault semantics mirror real hardware:
+
+* **failed write** — the write raises and *nothing* reaches the device.
+* **torn write** — only a prefix of the new image reaches the device, but
+  the page checksum records the intended image, so the next read of the
+  page raises :class:`~repro.errors.ChecksumError` (a real engine's torn
+  bit / checksum behaves the same way).
+* **bit flip on read** — the stored image is damaged in place before the
+  read; checksum verification inside :meth:`Disk.read_page` catches it.
+* **crash mid-write** — the page is torn in half, then
+  :class:`~repro.fault.injector.SimulatedCrash` propagates.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import StatsRegistry
+from repro.errors import FaultInjectionError
+from repro.fault.injector import FaultInjector, SimulatedCrash
+from repro.rdb.storage import Disk
+
+
+class FaultyDisk:
+    """Wraps a :class:`Disk`, injecting the faults an injector plans."""
+
+    def __init__(self, inner: Disk, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    # -- Disk interface ----------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    @property
+    def stats(self) -> StatsRegistry:
+        return self.inner.stats
+
+    @property
+    def page_count(self) -> int:
+        return self.inner.page_count
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.inner.allocated_bytes
+
+    def allocate_page(self) -> int:
+        return self.inner.allocate_page()
+
+    def read_page(self, page_id: int) -> bytes:
+        bit = self.injector.on_read(page_id, self.inner.page_size)
+        if bit is not None:
+            image = bytearray(self.inner.raw_page(page_id))
+            image[bit // 8] ^= 1 << (bit % 8)
+            self.inner.corrupt_page(page_id, bytes(image))
+        return self.inner.read_page(page_id)
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        outcome = self.injector.on_write(page_id, data)
+        if outcome.fail:
+            raise FaultInjectionError(
+                f"injected write failure on page {page_id}")
+        previous = self.inner.raw_page(page_id)
+        self.inner.write_page(page_id, data)
+        if outcome.keep_bytes is not None:
+            torn = bytes(data[:outcome.keep_bytes]) + \
+                previous[outcome.keep_bytes:]
+            self.inner.corrupt_page(page_id, torn)
+        try:
+            self.injector.hit("disk.write.mid")
+        except SimulatedCrash:
+            half = len(data) // 2
+            self.inner.corrupt_page(page_id, bytes(data[:half]) +
+                                    previous[half:])
+            raise
+        self.injector.hit("disk.write.post")
+
+    # -- fault hooks / persistence (delegate) ------------------------------
+
+    def raw_page(self, page_id: int) -> bytes:
+        return self.inner.raw_page(page_id)
+
+    def corrupt_page(self, page_id: int, data: bytes) -> None:
+        self.inner.corrupt_page(page_id, data)
+
+    def save(self, path: str) -> None:
+        self.inner.save(path)

@@ -82,16 +82,39 @@ class BufferPool:
             self.unpin(page_id, dirty=write)
 
     def flush_page(self, page_id: int) -> None:
-        """Write ``page_id`` back to disk if it is resident and dirty."""
+        """Write ``page_id`` back to disk if it is resident and dirty.
+
+        The frame is marked clean only after the write returns, so an
+        injected write failure leaves the page dirty and a later flush
+        retries it.
+        """
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
             self.disk.write_page(page_id, bytes(frame.data))
             frame.dirty = False
+            self.stats.add("buffer.flushes")
 
     def flush_all(self) -> None:
         """Write every dirty resident page back to disk."""
         for page_id in list(self._frames):
             self.flush_page(page_id)
+
+    def dirty_count(self) -> int:
+        """Number of resident frames holding unflushed modifications."""
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    def assert_unpinned(self) -> None:
+        """Raise :class:`BufferPoolError` if any frame is still pinned.
+
+        Checkpoints and crash-harness restarts call this first: a pinned
+        frame means some component is mid-operation and the pool contents
+        are not a consistent image to flush.
+        """
+        pinned = [page_id for page_id, frame in self._frames.items()
+                  if frame.pin_count]
+        if pinned:
+            raise BufferPoolError(
+                f"pages still pinned at quiesce point: {pinned[:8]}")
 
     def evict_all(self) -> None:
         """Flush then drop every unpinned frame (simulates pool restart)."""

@@ -128,6 +128,15 @@ class LockManager:
         for edges in self._waits_for.values():
             edges.discard(txn_id)
 
+    def clear_waits(self, txn_id: int) -> None:
+        """Forget ``txn_id``'s waits-for edges without releasing its locks.
+
+        Called when a blocked request gives up (lock timeout): the
+        transaction keeps what it holds but no longer waits, so its stale
+        edges cannot produce false deadlock cycles.
+        """
+        self._waits_for.pop(txn_id, None)
+
     def locks_held(self, txn_id: int) -> int:
         """Number of resources currently locked by ``txn_id``."""
         return len(self._held_by_txn.get(txn_id, ()))

@@ -178,6 +178,33 @@ class SlottedPage:
             self._set_slot(slot_no, write_end, len(image))
         self._set_header(slot_count, write_end)
 
+    # -- integrity -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural integrity check of the header and slot directory.
+
+        The disk layer's CRC catches corruption at rest; this catches a page
+        whose bytes were damaged *after* checksum verification (or written
+        through a fault hook) before the damage is dereferenced as offsets.
+        Raises :class:`StorageError` on any violated invariant.
+        """
+        slot_count, free_end = self._header()
+        directory_end = HEADER_SIZE + SLOT_SIZE * slot_count
+        if free_end > self.page_size or free_end < directory_end:
+            raise StorageError(
+                f"corrupt page header: free_end={free_end} with "
+                f"{slot_count} slots on a {self.page_size}-byte page")
+        for slot_no in range(slot_count):
+            offset, length = self._slot(slot_no)
+            if offset == 0:
+                continue  # tombstone
+            if offset < free_end or offset + length > self.page_size:
+                raise StorageError(
+                    f"corrupt slot {slot_no}: [{offset}, {offset + length}) "
+                    f"outside data area [{free_end}, {self.page_size})")
+            if length == 0:
+                raise StorageError(f"corrupt slot {slot_no}: zero length")
+
     # -- internals -----------------------------------------------------------
 
     def _find_tombstone(self) -> int | None:

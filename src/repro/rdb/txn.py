@@ -12,7 +12,7 @@ import enum
 from typing import Callable
 
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
-from repro.errors import TransactionError
+from repro.errors import DeadlockError, LockTimeoutError, TransactionError
 from repro.rdb.locks import LockManager, LockMode
 from repro.rdb.wal import LogManager, LogOp
 
@@ -55,11 +55,39 @@ class Transaction:
         return self._manager.locks.try_acquire(self.txn_id, resource, mode)
 
     def lock(self, resource: object, mode: LockMode) -> None:
-        """Lock ``resource`` or raise (single-threaded convenience path)."""
-        if not self.try_lock(resource, mode):
-            raise TransactionError(
-                f"txn {self.txn_id} blocked on {resource!r} "
-                f"(use the scheduler for contended workloads)")
+        """Lock ``resource`` or raise (single-threaded convenience path).
+
+        A blocked request retries under a bounded exponential backoff until
+        the manager's wait budget (simulated steps) is exhausted.  Raises
+        :class:`~repro.errors.DeadlockError` if this transaction sits on a
+        waits-for cycle, :class:`~repro.errors.LockTimeoutError` once the
+        budget runs out — so callers can tell a victim (retry after abort)
+        from plain contention (wait longer or shed load).
+        """
+        if self.try_lock(resource, mode):
+            return
+        manager = self._manager
+        budget = manager.lock_wait_budget
+        backoff = max(1, manager.lock_backoff_initial)
+        waited = 0
+        while True:
+            cycle = manager.locks.find_deadlock()
+            if cycle and self.txn_id in cycle:
+                manager.stats.add("txn.deadlocks")
+                raise DeadlockError(
+                    f"txn {self.txn_id} is a deadlock victim on "
+                    f"{resource!r} (cycle {sorted(cycle)})")
+            if waited >= budget:
+                manager.locks.clear_waits(self.txn_id)
+                manager.stats.add("txn.lock_timeouts")
+                raise LockTimeoutError(
+                    f"txn {self.txn_id} gave up on {resource!r} after "
+                    f"{waited} simulated wait steps (budget {budget})")
+            waited += backoff
+            manager.stats.add("lock.wait_steps", backoff)
+            backoff = min(backoff * 2, max(1, manager.lock_backoff_cap))
+            if self.try_lock(resource, mode):
+                return
 
     # -- logging and undo -----------------------------------------------------
 
@@ -103,14 +131,33 @@ class Transaction:
 
 
 class TransactionManager:
-    """Creates transactions and owns the shared lock and log managers."""
+    """Creates transactions and owns the shared lock and log managers.
+
+    ``lock_wait_budget``/``lock_backoff_initial``/``lock_backoff_cap``
+    govern the interactive :meth:`Transaction.lock` retry loop.  With
+    ``checkpoint_every`` > 0 a WAL checkpoint is written automatically
+    every that many commits; ``on_checkpoint`` (typically the buffer
+    pool's ``flush_all``) runs first so the checkpoint describes state
+    that actually reached the device.
+    """
 
     def __init__(self, locks: LockManager | None = None,
                  log: LogManager | None = None,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 lock_wait_budget: int = 64,
+                 lock_backoff_initial: int = 1,
+                 lock_backoff_cap: int = 16,
+                 checkpoint_every: int = 0,
+                 on_checkpoint: Callable[[], None] | None = None) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
         self.locks = locks if locks is not None else LockManager(self.stats)
         self.log = log if log is not None else LogManager(self.stats)
+        self.lock_wait_budget = lock_wait_budget
+        self.lock_backoff_initial = lock_backoff_initial
+        self.lock_backoff_cap = lock_backoff_cap
+        self.checkpoint_every = checkpoint_every
+        self.on_checkpoint = on_checkpoint
+        self._commits_since_checkpoint = 0
         self._next_id = 1
         self.active: dict[int, Transaction] = {}
 
@@ -123,6 +170,17 @@ class TransactionManager:
         self.stats.add("txn.begun")
         return txn
 
+    def checkpoint(self) -> None:
+        """Write a WAL checkpoint describing the in-flight transactions."""
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
+        self.log.checkpoint(set(self.active))
+        self._commits_since_checkpoint = 0
+
     def _finish(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
+        if txn.state is TxnState.COMMITTED and self.checkpoint_every > 0:
+            self._commits_since_checkpoint += 1
+            if self._commits_since_checkpoint >= self.checkpoint_every:
+                self.checkpoint()

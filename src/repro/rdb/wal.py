@@ -8,6 +8,17 @@ fresh database deterministically reproduces record placement (the engine's
 insert path is deterministic), which is how the recovery tests restore XML
 columns and rebuild their indexes.
 
+Persistence uses per-record ``length || crc32 || body`` framing.  A torn
+*tail* (a record cut short by a crash mid-hardening) is dropped silently on
+:meth:`LogManager.load` — exactly the committed-prefix semantics a real log
+gives — while corruption in the *middle* of the log raises
+:class:`~repro.errors.RecoveryError`, because records after the damage can
+no longer be trusted.
+
+``CHECKPOINT`` records carry the set of loser transactions (in-flight or
+aborted) at checkpoint time, so :func:`replay`'s analysis pass can start at
+the last checkpoint instead of scanning the whole log for COMMITs.
+
 The log doubles as the experiments' measure of *log volume* (E3): counters
 ``wal.records`` and ``wal.bytes`` report exactly what a real engine would
 have to harden.
@@ -16,12 +27,16 @@ have to harden.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
-from repro.errors import LogError
+from repro.errors import LogError, RecoveryError
 from repro.rdb import codec
+
+#: bytes of ``length || crc32`` framing preceding each persisted record.
+_FRAME_HEADER = 8
 
 
 class LogOp(enum.IntEnum):
@@ -76,13 +91,43 @@ class LogRecord:
         return cls(lsn, txn_id, op, target, payload, extra), pos
 
 
-class LogManager:
-    """Append-only log with LSNs, iteration and byte accounting."""
+def encode_checkpoint(losers: set[int] | list[int]) -> bytes:
+    """Payload of a CHECKPOINT record: the sorted loser-transaction set."""
+    out = bytearray()
+    ids = sorted(losers)
+    codec.write_uvarint(out, len(ids))
+    for txn_id in ids:
+        codec.write_svarint(out, txn_id)
+    return bytes(out)
 
-    def __init__(self, stats: StatsRegistry | None = None) -> None:
+
+def decode_checkpoint(payload: bytes) -> set[int]:
+    """Loser-transaction set carried by a CHECKPOINT payload."""
+    count, pos = codec.read_uvarint(payload, 0)
+    losers: set[int] = set()
+    for _ in range(count):
+        txn_id, pos = codec.read_svarint(payload, pos)
+        losers.add(txn_id)
+    return losers
+
+
+class LogManager:
+    """Append-only log with LSNs, iteration and byte accounting.
+
+    When a :class:`~repro.fault.injector.FaultInjector` is attached, append
+    fires the crash points ``wal.append.pre`` / ``wal.append.post`` (and
+    op-specific ``wal.commit.pre`` / ``wal.commit.post`` /
+    ``wal.checkpoint.post``) so crash tests can cut the log at precisely
+    defined instants.
+    """
+
+    def __init__(self, stats: StatsRegistry | None = None,
+                 injector: "object | None" = None) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
+        self.injector = injector
         self._records: list[LogRecord] = []
         self._bytes = 0
+        self._aborted: set[int] = set()
 
     @property
     def next_lsn(self) -> int:
@@ -93,16 +138,57 @@ class LogManager:
         """Total encoded log volume."""
         return self._bytes
 
+    @property
+    def aborted_txns(self) -> frozenset[int]:
+        """Transactions whose ABORT records this log has seen."""
+        return frozenset(self._aborted)
+
+    def _hit(self, point: str) -> None:
+        if self.injector is not None:
+            self.injector.hit(point)
+
     def append(self, txn_id: int, op: LogOp, target: str = "",
                payload: bytes = b"", extra: bytes = b"") -> LogRecord:
         """Harden one log record; returns it with its LSN assigned."""
+        if op is LogOp.COMMIT:
+            self._hit("wal.commit.pre")
+        self._hit("wal.append.pre")
         record = LogRecord(self.next_lsn, txn_id, op, target, payload, extra)
         encoded_len = len(record.encode())
         self._records.append(record)
         self._bytes += encoded_len
+        if op is LogOp.ABORT:
+            self._aborted.add(txn_id)
         self.stats.add("wal.records")
         self.stats.add("wal.bytes", encoded_len)
+        self._hit("wal.append.post")
+        if op is LogOp.COMMIT:
+            self._hit("wal.commit.post")
+        elif op is LogOp.CHECKPOINT:
+            self._hit("wal.checkpoint.post")
         return record
+
+    def checkpoint(self, active_txns: set[int] | list[int] = ()) -> LogRecord:
+        """Write a CHECKPOINT record.
+
+        ``active_txns`` are the transactions in flight at checkpoint time;
+        together with the aborted set they form the *losers* — transactions
+        whose pre-checkpoint records must not replay unless a later COMMIT
+        proves otherwise.  Recovery's analysis pass starts at the newest
+        checkpoint (see :func:`replay`).
+        """
+        losers = set(active_txns) | self._aborted
+        record = self.append(-1, LogOp.CHECKPOINT, "checkpoint",
+                             encode_checkpoint(losers))
+        self.stats.add("wal.checkpoints")
+        return record
+
+    def last_checkpoint_lsn(self) -> int | None:
+        """LSN of the newest CHECKPOINT record, if any."""
+        for record in reversed(self._records):
+            if record.op is LogOp.CHECKPOINT:
+                return record.lsn
+        return None
 
     def records(self) -> Iterator[LogRecord]:
         """All records in LSN order."""
@@ -111,53 +197,108 @@ class LogManager:
     def truncate(self) -> None:
         """Discard the log (after a checkpoint/backup)."""
         self._records.clear()
+        self._aborted.clear()
 
     def save(self, path: str) -> None:
-        """Persist the log for crash/restart tests."""
+        """Persist the log for crash/restart tests.
+
+        Each record is framed as ``length(4) || crc32(4) || body`` so that
+        :meth:`load` can tell a torn tail from mid-log corruption.
+        """
         with open(path, "wb") as fh:
             for record in self._records:
                 encoded = record.encode()
                 fh.write(len(encoded).to_bytes(4, "big"))
+                fh.write(zlib.crc32(encoded).to_bytes(4, "big"))
                 fh.write(encoded)
 
     @classmethod
     def load(cls, path: str, stats: StatsRegistry | None = None) -> "LogManager":
+        """Reload a persisted log, tolerating a torn tail.
+
+        A final record cut short by a crash (incomplete frame, short body,
+        or checksum mismatch at end-of-file) is dropped — it was never fully
+        hardened, so the transaction it belonged to simply loses its tail.
+        Damage anywhere *before* the end of the log raises
+        :class:`~repro.errors.RecoveryError`.
+        """
         log = cls(stats=stats)
         with open(path, "rb") as fh:
-            while True:
-                header = fh.read(4)
-                if not header:
+            data = fh.read()
+        pos = 0
+        while pos < len(data):
+            if pos + _FRAME_HEADER > len(data):
+                log.stats.add("recovery.torn_tail_dropped")
+                break
+            length = int.from_bytes(data[pos:pos + 4], "big")
+            checksum = int.from_bytes(data[pos + 4:pos + 8], "big")
+            body = data[pos + _FRAME_HEADER:pos + _FRAME_HEADER + length]
+            end = pos + _FRAME_HEADER + length
+            if len(body) < length:
+                log.stats.add("recovery.torn_tail_dropped")
+                break
+            if zlib.crc32(body) != checksum:
+                if end >= len(data):
+                    log.stats.add("recovery.torn_tail_dropped")
                     break
-                length = int.from_bytes(header, "big")
-                body = fh.read(length)
-                if len(body) != length:
-                    raise LogError(f"truncated log record in {path!r}")
+                raise RecoveryError(
+                    f"corrupt log record at byte {pos} of {path!r} "
+                    f"(mid-log checksum mismatch)")
+            try:
                 record, _ = LogRecord.decode(body)
-                log._records.append(record)
-                log._bytes += length
+            except (LogError, ValueError, IndexError) as exc:
+                raise RecoveryError(
+                    f"undecodable log record at byte {pos} of {path!r}: "
+                    f"{exc}") from exc
+            log._records.append(record)
+            log._bytes += length
+            if record.op is LogOp.ABORT:
+                log._aborted.add(record.txn_id)
+            log.stats.add("wal.records")
+            log.stats.add("wal.bytes", length)
+            pos = end
         return log
 
 
 def replay(log: LogManager,
            apply: Callable[[LogRecord], None],
-           committed_only: bool = True) -> int:
+           committed_only: bool = True,
+           from_checkpoint: bool = True) -> int:
     """Redo pass: feed records of committed transactions to ``apply``.
 
     With ``committed_only`` (the default), records of transactions that never
     logged ``COMMIT`` are suppressed — the archive-recovery equivalent of
-    undoing losers.  Returns the number of records applied.
+    undoing losers.  With ``from_checkpoint`` the analysis pass scans for
+    COMMIT records only from the newest CHECKPOINT onward: a pre-checkpoint
+    record replays unless its transaction is in the checkpoint's loser set
+    (in flight or aborted at checkpoint time) and never commits afterwards.
+    Returns the number of records applied.
     """
+    records = list(log.records())
+    start = 0
+    losers: set[int] = set()
+    if committed_only and from_checkpoint:
+        for index in range(len(records) - 1, -1, -1):
+            if records[index].op is LogOp.CHECKPOINT:
+                losers = decode_checkpoint(records[index].payload)
+                start = index
+                log.stats.add("recovery.from_checkpoint")
+                break
     committed: set[int] = set()
     if committed_only:
-        for record in log.records():
+        for record in records[start:]:
             if record.op is LogOp.COMMIT:
                 committed.add(record.txn_id)
     applied = 0
-    for record in log.records():
-        if record.op in (LogOp.BEGIN, LogOp.COMMIT, LogOp.ABORT, LogOp.CHECKPOINT):
+    for index, record in enumerate(records):
+        if record.op in (LogOp.BEGIN, LogOp.COMMIT, LogOp.ABORT,
+                         LogOp.CHECKPOINT):
             continue
-        if committed_only and record.txn_id not in committed and record.txn_id >= 0:
-            continue
+        if committed_only and record.txn_id >= 0:
+            if record.txn_id not in committed and \
+                    (index >= start or record.txn_id in losers):
+                continue
         apply(record)
         applied += 1
+    log.stats.add("recovery.replayed", applied)
     return applied

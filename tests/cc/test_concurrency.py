@@ -79,6 +79,61 @@ class TestScheduler:
         assert result.aborted >= 1
         assert stats.get("lock.deadlocks") >= 1
 
+    def test_deadlock_under_random_scheduling(self, stats):
+        """The non-round-robin path resolves deadlocks too (pinned seed
+        empirically produces the a->b / b->a interleaving)."""
+        lm = LockManager(stats)
+
+        def make(first, second):
+            def body(txn_id):
+                yield Lock(first, LockMode.X)
+                yield Lock(second, LockMode.X)
+            return body
+
+        result = Scheduler(lm, seed=6).run(
+            [("ab", make("a", "b")), ("ba", make("b", "a"))])
+        assert result.committed == 2
+        assert result.deadlock_aborts == 1
+        assert result.restarts == 1
+        assert stats.get("txn.deadlock_aborts") == 1
+
+    def test_round_robin_victim_removed_immediately(self, stats):
+        """A non-restartable deadlock victim must leave the active set the
+        moment it is aborted, not linger as a phantom runner."""
+        lm = LockManager(stats)
+
+        def make(first, second):
+            def body(txn_id):
+                yield Lock(first, LockMode.X)
+                yield Lock(second, LockMode.X)
+            return body
+
+        result = Scheduler(lm, seed=5).run(
+            [("ab", make("a", "b")), ("ba", make("b", "a"))],
+            restartable=False, round_robin=True)
+        assert result.committed == 1
+        assert result.aborted == 1
+        assert result.deadlock_aborts == 1
+        assert result.restarts == 0
+        assert result.failed == ["ba"]  # youngest txn in the cycle dies
+        assert result.commit_order == ["ab"]
+
+    def test_round_robin_deadlock_with_three_programs(self, stats):
+        """Three-way waits-for cycle under round-robin scheduling."""
+        lm = LockManager(stats)
+
+        def make(first, second):
+            def body(txn_id):
+                yield Lock(first, LockMode.X)
+                yield Lock(second, LockMode.X)
+            return body
+
+        result = Scheduler(lm, seed=0).run(
+            [("ab", make("a", "b")), ("bc", make("b", "c")),
+             ("ca", make("c", "a"))], round_robin=True)
+        assert result.committed == 3
+        assert result.deadlock_aborts >= 1
+
     def test_commit_order_recorded(self, stats):
         lm = LockManager(stats)
 
