@@ -11,7 +11,6 @@ reports measured nodes/record (p), bytes/node, and index entries against the
 
 from conftest import fresh_names, fresh_pool, print_table
 
-from repro.xdm.events import assign_node_ids
 from repro.xdm.parser import parse
 from repro.xmlstore.shred import ShreddedStore
 from repro.xmlstore.store import XmlStore

@@ -9,7 +9,6 @@ for t; the bench sweeps p and reports the measured fetch ratio against 1/p.
 from conftest import fresh_names, fresh_pool, print_table
 
 from repro.workload.generator import wide_document
-from repro.xdm.events import assign_node_ids
 from repro.xdm.parser import parse
 from repro.xmlstore.shred import ShreddedStore
 from repro.xmlstore.store import XmlStore

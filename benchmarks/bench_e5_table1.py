@@ -9,7 +9,6 @@ and times the propagation-heavy recursive case.
 from conftest import print_table
 
 from repro.lang.parser import parse_xpath
-from repro.workload.generator import recursive_document
 from repro.xdm.events import assign_node_ids
 from repro.xdm.parser import parse
 from repro.xpath.domeval import evaluate_dom

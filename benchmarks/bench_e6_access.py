@@ -13,7 +13,7 @@ and checks the paper's shape: indexes beat scans everywhere, and the
 DocID/NodeID preference flips with document size.
 """
 
-from conftest import print_table
+from conftest import export_trace, print_table
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.engine import Database
@@ -117,6 +117,14 @@ def test_e6_access_methods(benchmark):
         is AccessMethod.DOCID_LIST
     assert large_few.plan_xpath("catalog", "doc", query1).method \
         is AccessMethod.NODEID_LIST
+
+    # Attach an EXPLAIN ANALYZE trace artifact per access method so the
+    # per-operator counter deltas behind the table are inspectable.
+    for method in (AccessMethod.FULL_SCAN, AccessMethod.DOCID_LIST,
+                   AccessMethod.NODEID_LIST):
+        analyzed = large_few.explain_analyze("catalog", "doc", query1,
+                                             method=method)
+        export_trace(f"e6_{method.value.replace('-', '_')}", analyzed)
 
     benchmark(lambda: large_few.xpath("catalog", "doc", query1,
                                       method=AccessMethod.NODEID_LIST))

@@ -10,7 +10,6 @@ the deterministic scheduler and compares wait steps and makespan.
 
 from conftest import fresh_names, fresh_pool, print_table
 
-from repro.cc.document import DocumentLockProtocol
 from repro.cc.mvcc import VersionedXmlStore
 from repro.cc.scheduler import Do, Lock, Scheduler
 from repro.core.stats import StatsRegistry
@@ -25,7 +24,6 @@ DOC = catalog_document(6, seed=4)
 def locking_workload():
     """Readers take DocID S locks; one writer repeatedly takes X locks."""
     locks = LockManager(StatsRegistry())
-    protocol = DocumentLockProtocol(locks)
     reads_done = []
 
     def reader(txn_id):

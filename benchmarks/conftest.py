@@ -6,6 +6,8 @@ with ``pytest benchmarks/ --benchmark-only -s``) in addition to
 pytest-benchmark's timing output; EXPERIMENTS.md records a reference run.
 """
 
+import os
+
 import pytest
 
 from repro.core.stats import StatsRegistry
@@ -23,6 +25,31 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     print("  ".join("-" * w for w in widths))
     for row in rows:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+#: Where benchmark trace artifacts land (gitignored).
+ARTIFACTS_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+
+def export_trace(name: str, trace) -> str:
+    """Write a JSON trace artifact to ``benchmarks/artifacts/<name>.json``.
+
+    Accepts a :class:`~repro.obs.Span`, a :class:`~repro.obs.Tracer`, or an
+    :class:`~repro.obs.ExplainResult`; returns the path written.
+    """
+    from repro.obs import write_trace
+    from repro.obs.explain import ExplainResult
+
+    path = os.path.join(ARTIFACTS_DIR, f"{name}.json")
+    if isinstance(trace, ExplainResult):
+        os.makedirs(ARTIFACTS_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(trace.to_json())
+            fh.write("\n")
+    else:
+        write_trace(path, trace)
+    print(f"[trace] wrote {path}")
+    return path
 
 
 @pytest.fixture

@@ -25,7 +25,8 @@ from repro.errors import (CatalogError, DeadlockError, DocumentNotFoundError,
 from repro.indexes.definition import XPathIndexDefinition
 from repro.indexes.manager import XPathValueIndex
 from repro.lang import ast
-from repro.lang.parser import parse_xpath
+from repro.obs.explain import ExplainResult
+from repro.obs.tracer import Tracer
 from repro.query.executor import Executor, QueryMatch
 from repro.query.plan import AccessMethod, AccessPlan
 from repro.query.planner import Planner
@@ -42,6 +43,7 @@ from repro.rdb.wal import LogManager, LogOp, replay as wal_replay
 from repro.xdm.serializer import serialize
 from repro.xmlstore.store import XmlStore
 from repro.xmlstore.update import XmlUpdater
+from repro.xpath.cache import cached_parse
 
 
 @dataclass(frozen=True)
@@ -165,19 +167,23 @@ class Database:
 
         All XML columns of the row share one implicit DocID (§3.1).
         """
-        definition = self.catalog.table(table)
-        if len(row) != len(definition.columns):
-            raise QueryError(
-                f"row has {len(row)} values for {len(definition.columns)} "
-                f"columns of {table!r}")
-        self.log.append(txn_id, LogOp.INSERT, table,
-                        _encode_engine_row(row),
-                        validate_against.encode() if validate_against else b"")
-        rid = self._apply_insert(definition, row, validate_against)
-        txn = self.txns.active.get(txn_id)
-        if txn is not None:
-            txn.on_abort(lambda: self._apply_delete(table, rid))
-        return rid
+        with self.stats.trace("db.insert", table=table) as span:
+            definition = self.catalog.table(table)
+            if len(row) != len(definition.columns):
+                raise QueryError(
+                    f"row has {len(row)} values for "
+                    f"{len(definition.columns)} columns of {table!r}")
+            self.log.append(txn_id, LogOp.INSERT, table,
+                            _encode_engine_row(row),
+                            validate_against.encode()
+                            if validate_against else b"")
+            rid = self._apply_insert(definition, row, validate_against)
+            txn = self.txns.active.get(txn_id)
+            if txn is not None:
+                txn.on_abort(lambda: self._apply_delete(table, rid))
+            if span is not None:
+                span.set("rid", str(rid))
+            return rid
 
     def _apply_insert(self, definition: TableDef, row: tuple,
                       validate_against: str | None) -> Rid:
@@ -240,7 +246,7 @@ class Database:
     def plan_xpath(self, table: str, column: str, path_text: str,
                    namespaces: dict[str, str] | None = None,
                    method: AccessMethod | None = None) -> AccessPlan:
-        path = parse_xpath(path_text, namespaces)
+        path = cached_parse(path_text, namespaces, stats=self.stats)
         if not isinstance(path, ast.LocationPath):
             raise QueryError(f"{path_text!r} is not a location path")
         return self.planner(table, column).plan(path, force_method=method)
@@ -253,20 +259,56 @@ class Database:
         Returns one result per matched node, joined back to the base row
         through the DocID index (Fig. 2).
         """
+        with self.stats.trace("db.xpath", table=table, column=column,
+                              path=path_text) as span:
+            plan = self.plan_xpath(table, column, path_text, namespaces,
+                                   method)
+            store = self._store(table, column)
+            matches = Executor(store, stats=self.stats).execute(plan)
+            with self.stats.trace("db.docid_join") as join_span:
+                docid_index = self.docid_indexes[table]
+                base_table = self.tables[table]
+                out = []
+                for match in matches:
+                    rid_bytes = docid_index.search_one(
+                        match.docid.to_bytes(8, "big"))
+                    if rid_bytes is None:  # pragma: no cover - index skew
+                        continue
+                    base_rid = Rid.from_bytes(rid_bytes)
+                    out.append(XPathResult(match.docid, base_rid,
+                                           base_table.fetch(base_rid), match))
+                if join_span is not None:
+                    join_span.set("rows", len(out))
+            if span is not None:
+                span.set("method", plan.method.value)
+                span.set("rows", len(out))
+            return out
+
+    def explain_analyze(self, table: str, column: str, path_text: str,
+                        namespaces: dict[str, str] | None = None,
+                        method: AccessMethod | None = None) -> ExplainResult:
+        """Run the query for real and explain what happened (EXPLAIN ANALYZE).
+
+        Returns an :class:`~repro.obs.explain.ExplainResult` pairing the
+        chosen :class:`AccessPlan` with the captured span tree: actual row
+        counts, per-operator counter deltas (index entries scanned, page
+        touches, physical reads) and the evaluated candidates — DB2-style
+        EXPLAIN output for the planner of §5.
+
+        A fresh tracer is installed on this database's stats registry for
+        the duration of the call (nesting with an outer tracer is fine; the
+        outer one is restored afterwards).
+        """
         plan = self.plan_xpath(table, column, path_text, namespaces, method)
         store = self._store(table, column)
-        matches = Executor(store, stats=self.stats).execute(plan)
-        docid_index = self.docid_indexes[table]
-        base_table = self.tables[table]
-        out = []
-        for match in matches:
-            rid_bytes = docid_index.search_one(match.docid.to_bytes(8, "big"))
-            if rid_bytes is None:  # pragma: no cover - index skew
-                continue
-            base_rid = Rid.from_bytes(rid_bytes)
-            out.append(XPathResult(match.docid, base_rid,
-                                   base_table.fetch(base_rid), match))
-        return out
+        tracer = Tracer(self.stats, name="explain_analyze")
+        with tracer.install():
+            with tracer.span("query", table=table, column=column,
+                             path=path_text,
+                             method=plan.method.value) as span:
+                matches = Executor(store, stats=self.stats).execute(plan)
+                span.set("rows", len(matches))
+        return ExplainResult(plan, matches, tracer.root)
 
     def serialize_result(self, table: str, column: str,
                          result: XPathResult) -> str:
@@ -307,23 +349,31 @@ class Database:
         attempt = 0
         while True:
             txn = self.txns.begin(isolation or IsolationLevel.READ_COMMITTED)
-            try:
-                result = body(self, txn)
-            except (DeadlockError, LockTimeoutError):
-                if txn.state is TxnState.ACTIVE:
-                    txn.abort()
-                if attempt >= limit:
+            with self.stats.trace("db.txn", txn_id=txn.txn_id,
+                                  attempt=attempt) as span:
+                try:
+                    result = body(self, txn)
+                except (DeadlockError, LockTimeoutError):
+                    if txn.state is TxnState.ACTIVE:
+                        txn.abort()
+                    if span is not None:
+                        span.set("outcome", "victim")
+                    if attempt >= limit:
+                        raise
+                    attempt += 1
+                    self.stats.add("txn.retries")
+                    continue
+                except BaseException:
+                    if txn.state is TxnState.ACTIVE:
+                        txn.abort()
+                    if span is not None:
+                        span.set("outcome", "abort")
                     raise
-                attempt += 1
-                self.stats.add("txn.retries")
-                continue
-            except BaseException:
                 if txn.state is TxnState.ACTIVE:
-                    txn.abort()
-                raise
-            if txn.state is TxnState.ACTIVE:
-                txn.commit()
-            return result
+                    txn.commit()
+                if span is not None:
+                    span.set("outcome", "commit")
+                return result
 
     # -- recovery -----------------------------------------------------------------------
 

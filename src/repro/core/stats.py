@@ -47,11 +47,21 @@ class StatsRegistry:
         dropped, analysis passes started from a checkpoint)
     ``xscan.events`` / ``xscan.matchings`` / ``xscan.peak_units``
         QuickXScan work
+    ``xpath.parse_hits`` / ``xpath.parse_misses`` /
+    ``xpath.compile_hits`` / ``xpath.compile_misses``
+        XPath parse/compile cache behaviour (:mod:`repro.xpath.cache`)
+
+    A registry can additionally carry a :class:`~repro.obs.tracer.Tracer`
+    (``stats.tracer``); components open spans through :meth:`trace` /
+    :meth:`trace_event`, which are reusable no-ops while no tracer is
+    installed, so permanent instrumentation stays ~free.
     """
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
         self._gauges: dict[str, int] = {}
+        #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
+        self.tracer = None
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``."""
@@ -75,11 +85,45 @@ class StatsRegistry:
         self._counters.clear()
         self._gauges.clear()
 
+    def counters(self) -> dict[str, int]:
+        """All counters (no gauges) as a plain dict."""
+        return dict(self._counters)
+
     def snapshot(self) -> dict[str, int]:
-        """All counters and gauges as a plain dict (gauges keyed verbatim)."""
+        """All counters and gauges as a plain dict.
+
+        Gauges are namespaced under a ``gauge:`` key prefix so a gauge
+        sharing a counter's name can never clobber the counter (they are
+        different quantities: monotone totals vs high-water marks).
+        """
         merged: dict[str, int] = dict(self._counters)
-        merged.update(self._gauges)
+        for name, value in self._gauges.items():
+            merged[f"gauge:{name}"] = value
         return merged
+
+    # -- tracing hooks ----------------------------------------------------
+
+    def trace(self, name: str, **attrs):
+        """A span context manager if a tracer is installed, else a no-op.
+
+        The block receives the open :class:`~repro.obs.tracer.Span` (or
+        ``None`` when untraced)::
+
+            with stats.trace("btree.search", index=self.name) as span:
+                ...
+                if span is not None:
+                    span.set("hits", len(out))
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return _NULL_TRACE
+        return tracer.span(name, **attrs)
+
+    def trace_event(self, name: str, **attrs) -> None:
+        """Record a point event on the installed tracer, if any."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(name, **attrs)
 
     @contextmanager
     def delta(self) -> Iterator[dict[str, int]]:
@@ -105,6 +149,21 @@ class StatsRegistry:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
         return f"StatsRegistry({body})"
+
+
+class _NullTrace:
+    """Reusable, reentrant no-op span context (the untraced fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_TRACE = _NullTrace()
 
 
 #: Registry used by components that are not handed an explicit one.

@@ -1,0 +1,27 @@
+"""Query-level observability: hierarchical tracing and EXPLAIN ANALYZE.
+
+The paper's infrastructure box (Fig. 1) lists *instrumentation* among the
+relational assets the XML engine inherits.  :mod:`repro.core.stats` provides
+the flat counter bag; this package adds the hierarchical view on top of it:
+
+* :class:`~repro.obs.tracer.Span` / :class:`~repro.obs.tracer.Tracer` — a
+  span tree whose every node captures the :class:`StatsRegistry` counter
+  deltas between enter and exit, so "how many page reads did this B+tree
+  probe cost" falls out of the existing accounting;
+* :class:`~repro.obs.explain.ExplainResult` — the DB2-style EXPLAIN ANALYZE
+  surface returned by :meth:`repro.core.engine.Database.explain_analyze`:
+  the chosen :class:`~repro.query.plan.AccessPlan` annotated with actual
+  row/entry/page counts per operator;
+* :mod:`repro.obs.export` — JSON export of span trees, used by the
+  benchmarks to attach trace artifacts to BENCH runs.
+
+Tracing is opt-in: components call ``self.stats.trace("name")`` which is a
+reusable no-op unless a :class:`Tracer` is installed on the registry, so the
+uninstrumented cost is ~zero.
+"""
+
+from repro.obs.explain import ExplainResult
+from repro.obs.export import span_to_dict, write_trace
+from repro.obs.tracer import Span, Tracer
+
+__all__ = ["ExplainResult", "Span", "Tracer", "span_to_dict", "write_trace"]

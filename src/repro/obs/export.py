@@ -1,0 +1,54 @@
+"""JSON export of span trees.
+
+Benchmarks attach trace artifacts to their runs with :func:`write_trace`;
+the schema is deliberately flat (name/attrs/counters/children) so external
+tooling — or a later PR's flamegraph view — can consume it without knowing
+engine internals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.tracer import Span, Tracer
+
+
+def span_to_dict(span: Span) -> dict:
+    """Plain-dict rendering of one span subtree (JSON-safe)."""
+    out: dict[str, object] = {"name": span.name, "kind": span.kind}
+    if span.attrs:
+        out["attrs"] = {key: _jsonable(value)
+                        for key, value in span.attrs.items()}
+    if span.counters:
+        out["counters"] = dict(sorted(span.counters.items()))
+    if span.children:
+        out["children"] = [span_to_dict(child) for child in span.children]
+    return out
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+def trace_to_json(trace: Span | Tracer, indent: int | None = 2) -> str:
+    """JSON text for a span tree (or a tracer's root)."""
+    span = trace.root if isinstance(trace, Tracer) else trace
+    return json.dumps(span_to_dict(span), indent=indent)
+
+
+def write_trace(path: str, trace: Span | Tracer) -> str:
+    """Write a span tree as a JSON artifact; returns the path written."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(trace_to_json(trace))
+        fh.write("\n")
+    return path

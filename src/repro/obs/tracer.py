@@ -1,0 +1,142 @@
+"""Hierarchical spans over the engine's counter registry.
+
+A :class:`Tracer` installs itself on a :class:`~repro.core.stats.StatsRegistry`
+(``stats.tracer``); every layer of the engine opens spans through
+``stats.trace("btree.search")`` without knowing whether anything is listening.
+On exit each span records the registry's counter deltas between its enter and
+exit, so the span tree is a hierarchical decomposition of the same numbers
+EXPERIMENTS.md reports globally — page I/O, index traffic, lock waits —
+attributed to the operator that caused them.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.stats import StatsRegistry
+
+
+class Span:
+    """One node of a trace: a named operation with attributes, counter
+    deltas (inclusive of children) and child spans."""
+
+    __slots__ = ("name", "attrs", "children", "counters", "kind")
+
+    def __init__(self, name: str, attrs: dict | None = None,
+                 kind: str = "span") -> None:
+        self.name = name
+        self.attrs: dict[str, object] = dict(attrs) if attrs else {}
+        self.children: list[Span] = []
+        #: Counter deltas observed between enter and exit (inclusive).
+        self.counters: dict[str, int] = {}
+        self.kind = kind
+
+    def set(self, key: str, value: object) -> None:
+        """Attach/overwrite one attribute."""
+        self.attrs[key] = value
+
+    def counter(self, name: str) -> int:
+        """This span's (inclusive) delta for counter ``name``."""
+        return self.counters.get(name, 0)
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant span (depth-first, self included) named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every descendant span (self included) named ``name``."""
+        out = [self] if self.name == name else []
+        for child in self.children:
+            out.extend(child.find_all(name))
+        return out
+
+    def format(self, indent: int = 0) -> str:
+        """Indented text rendering of the subtree (EXPLAIN output)."""
+        pad = "  " * indent
+        bits = [f"{pad}{self.name}"]
+        if self.attrs:
+            inner = " ".join(f"{k}={v!r}" for k, v in self.attrs.items())
+            bits.append(f"({inner})")
+        if self.counters:
+            inner = " ".join(f"{k}={v}"
+                             for k, v in sorted(self.counters.items()))
+            bits.append(f"[{inner}]")
+        lines = [" ".join(bits)]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, attrs={self.attrs}, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Builds a span tree while installed on a stats registry.
+
+    Usage::
+
+        tracer = Tracer(db.stats)
+        with tracer.install():
+            db.xpath("catalog", "doc", "/Catalog//Product")
+        print(tracer.root.format())
+
+    Spans nest by runtime call order: the innermost open span is the parent
+    of any span opened inside it.  The tracer is single-threaded, like the
+    engine itself.
+    """
+
+    def __init__(self, stats: StatsRegistry, name: str = "trace") -> None:
+        self.stats = stats
+        self.root = Span(name, kind="root")
+        self._stack: list[Span] = [self.root]
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a child span; yields it so callers can set attributes."""
+        span = Span(name, attrs)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        before = self.stats.counters()
+        try:
+            yield span
+        finally:
+            span.counters = self._delta_since(before)
+            self._stack.pop()
+
+    def event(self, name: str, **attrs: object) -> Span:
+        """Record a point event (a childless span with no deltas)."""
+        span = Span(name, attrs, kind="event")
+        self._stack[-1].children.append(span)
+        return span
+
+    @contextmanager
+    def install(self) -> Iterator["Tracer"]:
+        """Attach to the registry for the duration of the block.
+
+        Also captures the root span's counter deltas, and restores any
+        previously installed tracer on exit (tracers may nest).
+        """
+        previous = self.stats.tracer
+        self.stats.tracer = self
+        before = self.stats.counters()
+        try:
+            yield self
+        finally:
+            self.root.counters = self._delta_since(before)
+            self.stats.tracer = previous
+
+    def _delta_since(self, before: dict[str, int]) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for name, value in self.stats.counters().items():
+            diff = value - before.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out

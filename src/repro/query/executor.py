@@ -19,7 +19,8 @@ from repro.lang import ast
 from repro.xdm import nodeid
 from repro.xdm.events import EventKind, SaxEvent
 from repro.xmlstore.store import XmlStore
-from repro.xpath.qtree import QueryTree, compile_query
+from repro.xpath.cache import cached_compile
+from repro.xpath.qtree import QueryTree
 from repro.xpath.quickxscan import QuickXScan
 from repro.xpath.values import Item
 
@@ -43,7 +44,8 @@ class Executor:
         self.stats = stats if stats is not None else GLOBAL_STATS
 
     def execute(self, plan: AccessPlan) -> list[QueryMatch]:
-        query = compile_query(plan.path)
+        with self.stats.trace("exec.compile"):
+            query = cached_compile(plan.path, stats=self.stats)
         if plan.method is AccessMethod.FULL_SCAN:
             return self._full_scan(plan, query)
         if plan.method is AccessMethod.DOCID_LIST:
@@ -56,85 +58,117 @@ class Executor:
 
     def _full_scan(self, plan: AccessPlan, query: QueryTree
                    ) -> list[QueryMatch]:
-        out: list[QueryMatch] = []
-        for docid in self.store.docids():
-            self.stats.add("exec.docs_evaluated")
-            events = self.store.document(docid).events()
-            for item in QuickXScan(query, stats=self.stats).run(events):
-                out.append(QueryMatch(docid, item))
-        return out
+        with self.stats.trace("exec.full_scan") as span:
+            out: list[QueryMatch] = []
+            docs = 0
+            for docid in self.store.docids():
+                docs += 1
+                self.stats.add("exec.docs_evaluated")
+                events = self.store.document(docid).events()
+                for item in QuickXScan(query, stats=self.stats).run(events):
+                    out.append(QueryMatch(docid, item))
+            if span is not None:
+                span.set("docs", docs)
+                span.set("rows", len(out))
+            return out
 
     # -- DocID list -------------------------------------------------------------------
 
     def _docid_candidates(self, plan: AccessPlan) -> list[int]:
-        candidate_set: set[int] | None = None
-        for group in plan.source_groups:
-            group_docs: set[int] = set()
-            for source in group:
-                self.stats.add("exec.index_probes")
-                for hit in source.index.lookup_op(source.op, source.literal):
-                    group_docs.add(hit.docid)
-            # DocID ANDing across groups, ORing within a group.
-            if candidate_set is None:
-                candidate_set = group_docs
-            else:
-                candidate_set &= group_docs
-        self.stats.add("exec.candidates", len(candidate_set or ()))
-        return sorted(candidate_set or ())
+        with self.stats.trace("exec.probe") as span:
+            candidate_set: set[int] | None = None
+            probes = 0
+            for group in plan.source_groups:
+                group_docs: set[int] = set()
+                for source in group:
+                    probes += 1
+                    self.stats.add("exec.index_probes")
+                    for hit in source.index.lookup_op(source.op,
+                                                      source.literal):
+                        group_docs.add(hit.docid)
+                # DocID ANDing across groups, ORing within a group.
+                if candidate_set is None:
+                    candidate_set = group_docs
+                else:
+                    candidate_set &= group_docs
+            self.stats.add("exec.candidates", len(candidate_set or ()))
+            if span is not None:
+                span.set("probes", probes)
+                span.set("candidates", len(candidate_set or ()))
+            return sorted(candidate_set or ())
 
     def _docid_list(self, plan: AccessPlan, query: QueryTree
                     ) -> list[QueryMatch]:
-        out: list[QueryMatch] = []
-        for docid in self._docid_candidates(plan):
-            self.stats.add("exec.docs_evaluated")
-            events = self.store.document(docid).events()
-            items = QuickXScan(query, stats=self.stats).run(events)
-            if not items and plan.exact:
-                self.stats.add("exec.exactness_misses")
-            for item in items:
-                out.append(QueryMatch(docid, item))
-        return out
+        with self.stats.trace("exec.docid_list") as span:
+            out: list[QueryMatch] = []
+            candidates = self._docid_candidates(plan)
+            for docid in candidates:
+                self.stats.add("exec.docs_evaluated")
+                events = self.store.document(docid).events()
+                items = QuickXScan(query, stats=self.stats).run(events)
+                if not items and plan.exact:
+                    self.stats.add("exec.exactness_misses")
+                for item in items:
+                    out.append(QueryMatch(docid, item))
+            if span is not None:
+                span.set("candidates", len(candidates))
+                span.set("rows", len(out))
+            return out
 
     # -- NodeID list -------------------------------------------------------------------
 
     def _anchor_candidates(self, plan: AccessPlan
                            ) -> list[tuple[int, bytes]]:
-        candidate_set: set[tuple[int, bytes]] | None = None
-        for group in plan.source_groups:
-            group_anchors: set[tuple[int, bytes]] = set()
-            for source in group:
-                self.stats.add("exec.index_probes")
-                depth = source.suffix_depth
-                if depth is None:
-                    raise PlanningError(
-                        "NodeID-list plan without derivable anchors")
-                for hit in source.index.lookup_op(source.op, source.literal):
-                    anchor = hit.node_id
-                    try:
-                        for _ in range(depth):
-                            anchor = nodeid.parent(anchor)
-                    except Exception:
-                        continue  # value node too shallow: cannot match
-                    group_anchors.add((hit.docid, anchor))
-            if candidate_set is None:
-                candidate_set = group_anchors
-            else:
-                candidate_set &= group_anchors  # NodeID ANDing
-        self.stats.add("exec.candidates", len(candidate_set or ()))
-        return sorted(candidate_set or ())
+        with self.stats.trace("exec.probe") as span:
+            candidate_set: set[tuple[int, bytes]] | None = None
+            probes = 0
+            for group in plan.source_groups:
+                group_anchors: set[tuple[int, bytes]] = set()
+                for source in group:
+                    probes += 1
+                    self.stats.add("exec.index_probes")
+                    depth = source.suffix_depth
+                    if depth is None:
+                        raise PlanningError(
+                            "NodeID-list plan without derivable anchors")
+                    for hit in source.index.lookup_op(source.op,
+                                                      source.literal):
+                        anchor = hit.node_id
+                        try:
+                            for _ in range(depth):
+                                anchor = nodeid.parent(anchor)
+                        except Exception:
+                            continue  # value node too shallow: cannot match
+                        group_anchors.add((hit.docid, anchor))
+                if candidate_set is None:
+                    candidate_set = group_anchors
+                else:
+                    candidate_set &= group_anchors  # NodeID ANDing
+            self.stats.add("exec.candidates", len(candidate_set or ()))
+            if span is not None:
+                span.set("probes", probes)
+                span.set("candidates", len(candidate_set or ()))
+            return sorted(candidate_set or ())
 
     def _nodeid_list(self, plan: AccessPlan, query: QueryTree
                      ) -> list[QueryMatch]:
-        out: list[QueryMatch] = []
-        for docid, anchor in self._anchor_candidates(plan):
-            self.stats.add("exec.anchors_verified")
-            items = self._verify_anchor(docid, anchor, query)
-            if not items and plan.exact:
-                self.stats.add("exec.exactness_misses")
-            for item in items:
-                out.append(QueryMatch(docid, item))
-        out.sort(key=lambda match: (match.docid, match.item.order))
-        return out
+        with self.stats.trace("exec.nodeid_list") as span:
+            out: list[QueryMatch] = []
+            anchors = self._anchor_candidates(plan)
+            with self.stats.trace("exec.anchor") as verify_span:
+                for docid, anchor in anchors:
+                    self.stats.add("exec.anchors_verified")
+                    items = self._verify_anchor(docid, anchor, query)
+                    if not items and plan.exact:
+                        self.stats.add("exec.exactness_misses")
+                    for item in items:
+                        out.append(QueryMatch(docid, item))
+                if verify_span is not None:
+                    verify_span.set("anchors", len(anchors))
+            out.sort(key=lambda match: (match.docid, match.item.order))
+            if span is not None:
+                span.set("rows", len(out))
+            return out
 
     def _verify_anchor(self, docid: int, anchor: bytes,
                        query: QueryTree) -> list[Item]:

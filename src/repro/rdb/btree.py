@@ -156,14 +156,15 @@ class BTree:
         Raises :class:`DuplicateKeyError` for a unique index when ``key`` is
         already present; duplicate ``(key, value)`` pairs are rejected always.
         """
-        self.stats.add("btree.inserts")
-        result = self._insert(self.root_page, key, value)
-        if result is not None:
-            sep, right = result
-            new_root = _Internal([sep], [self.root_page, right])
-            self.root_page = self._write_new(new_root)
-            self._page_count += 1
-        self.entry_count += 1
+        with self.stats.trace("btree.insert", index=self.name):
+            self.stats.add("btree.inserts")
+            result = self._insert(self.root_page, key, value)
+            if result is not None:
+                sep, right = result
+                new_root = _Internal([sep], [self.root_page, right])
+                self.root_page = self._write_new(new_root)
+                self._page_count += 1
+            self.entry_count += 1
 
     def _insert(self, page_id: int, key: bytes,
                 value: bytes) -> tuple[Entry, int] | None:
@@ -222,40 +223,48 @@ class BTree:
         With ``value`` given, removes that exact pair; otherwise removes the
         first entry with ``key``.  Returns whether an entry was removed.
         """
-        self.stats.add("btree.deletes")
-        page_id = self._leaf_for(key)
-        while page_id is not None:
-            node = self._read(page_id)
-            assert isinstance(node, _Leaf)
-            for pos, (k, v) in enumerate(node.entries):
-                if k > key:
-                    return False
-                if k == key and (value is None or v == value):
-                    del node.entries[pos]
-                    self._write(page_id, node)
-                    self.entry_count -= 1
-                    return True
-            page_id = node.next_leaf
-        return False
+        with self.stats.trace("btree.delete", index=self.name):
+            self.stats.add("btree.deletes")
+            page_id = self._leaf_for(key)
+            while page_id is not None:
+                node = self._read(page_id)
+                assert isinstance(node, _Leaf)
+                for pos, (k, v) in enumerate(node.entries):
+                    if k > key:
+                        return False
+                    if k == key and (value is None or v == value):
+                        del node.entries[pos]
+                        self._write(page_id, node)
+                        self.entry_count -= 1
+                        return True
+                page_id = node.next_leaf
+            return False
 
     def search(self, key: bytes) -> list[bytes]:
         """All values stored under exactly ``key``."""
-        self.stats.add("btree.searches")
-        return [v for k, v in self.scan(low=key, high=key, high_inclusive=True)]
+        with self.stats.trace("btree.search", index=self.name) as span:
+            self.stats.add("btree.searches")
+            out = [v for k, v in self.scan(low=key, high=key,
+                                           high_inclusive=True)]
+            if span is not None:
+                span.set("hits", len(out))
+            return out
 
     def search_one(self, key: bytes) -> bytes | None:
         """First value under ``key`` or None (for unique indexes)."""
-        self.stats.add("btree.searches")
-        for _, v in self.scan(low=key, high=key, high_inclusive=True):
-            return v
-        return None
+        with self.stats.trace("btree.search", index=self.name):
+            self.stats.add("btree.searches")
+            for _, v in self.scan(low=key, high=key, high_inclusive=True):
+                return v
+            return None
 
     def seek_ge(self, key: bytes) -> Entry | None:
         """Smallest entry with key ≥ ``key`` (the NodeID-index probe, §3.4)."""
-        self.stats.add("btree.searches")
-        for entry in self.scan(low=key):
-            return entry
-        return None
+        with self.stats.trace("btree.search", index=self.name):
+            self.stats.add("btree.searches")
+            for entry in self.scan(low=key):
+                return entry
+            return None
 
     def scan(self, low: bytes | None = None, high: bytes | None = None,
              low_inclusive: bool = True,

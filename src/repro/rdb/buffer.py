@@ -41,9 +41,14 @@ class BufferPool:
         return self.disk.page_size
 
     def new_page(self) -> tuple[int, bytearray]:
-        """Allocate a disk page and return it pinned (and dirty)."""
-        page_id = self.disk.allocate_page()
+        """Allocate a disk page and return it pinned (and dirty).
+
+        Room is made *before* the disk allocation: if every frame is pinned
+        the failure must not leak a freshly allocated (and never freed)
+        disk page.
+        """
         self._make_room()
+        page_id = self.disk.allocate_page()
         frame = _Frame(bytearray(self.page_size))
         frame.pin_count = 1
         frame.dirty = True
@@ -96,8 +101,15 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write every dirty resident page back to disk."""
-        for page_id in list(self._frames):
-            self.flush_page(page_id)
+        with self.stats.trace("buffer.flush_all") as span:
+            flushed = 0
+            for page_id in list(self._frames):
+                frame = self._frames.get(page_id)
+                dirty = frame is not None and frame.dirty
+                self.flush_page(page_id)
+                flushed += dirty
+            if span is not None:
+                span.set("flushed", flushed)
 
     def dirty_count(self) -> int:
         """Number of resident frames holding unflushed modifications."""
@@ -132,9 +144,15 @@ class BufferPool:
             return
         for page_id, frame in self._frames.items():
             if frame.pin_count == 0:
+                # Writeback goes through flush_page so eviction I/O counts
+                # into ``buffer.flushes`` and shares the clean-only-after-
+                # write guarantee (an injected write failure leaves the
+                # frame dirty *and resident* for a later retry).
+                was_dirty = frame.dirty
+                self.flush_page(page_id)
                 self.stats.add("buffer.evictions")
-                if frame.dirty:
-                    self.disk.write_page(page_id, bytes(frame.data))
+                self.stats.trace_event("buffer.evict", page=page_id,
+                                       dirty=was_dirty)
                 del self._frames[page_id]
                 return
         raise BufferPoolError("all buffer frames are pinned")

@@ -96,6 +96,10 @@ class LockManager:
         ]
         if blockers:
             self.stats.add("lock.waits")
+            self.stats.trace_event("lock.wait", txn=txn_id,
+                                   resource=str(resource),
+                                   mode=effective.name,
+                                   blockers=len(blockers))
             self._waits_for[txn_id].update(blockers)
             return False
         holders[txn_id] = effective
@@ -170,5 +174,7 @@ class LockManager:
             cycle = dfs(start)
             if cycle is not None:
                 self.stats.add("lock.deadlocks")
+                self.stats.trace_event("lock.deadlock",
+                                       cycle=[int(t) for t in cycle])
                 return cycle
         return None

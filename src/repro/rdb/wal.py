@@ -161,6 +161,8 @@ class LogManager:
             self._aborted.add(txn_id)
         self.stats.add("wal.records")
         self.stats.add("wal.bytes", encoded_len)
+        self.stats.trace_event("wal.append", op=op.name, lsn=record.lsn,
+                               bytes=encoded_len)
         self._hit("wal.append.post")
         if op is LogOp.COMMIT:
             self._hit("wal.commit.post")
@@ -177,11 +179,15 @@ class LogManager:
         proves otherwise.  Recovery's analysis pass starts at the newest
         checkpoint (see :func:`replay`).
         """
-        losers = set(active_txns) | self._aborted
-        record = self.append(-1, LogOp.CHECKPOINT, "checkpoint",
-                             encode_checkpoint(losers))
-        self.stats.add("wal.checkpoints")
-        return record
+        with self.stats.trace("wal.checkpoint") as span:
+            losers = set(active_txns) | self._aborted
+            record = self.append(-1, LogOp.CHECKPOINT, "checkpoint",
+                                 encode_checkpoint(losers))
+            self.stats.add("wal.checkpoints")
+            if span is not None:
+                span.set("losers", len(losers))
+                span.set("lsn", record.lsn)
+            return record
 
     def last_checkpoint_lsn(self) -> int | None:
         """LSN of the newest CHECKPOINT record, if any."""

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator
 
 from repro.errors import XmlError
 from repro.xdm.nodes import (AttributeNode, CommentNode, DocumentNode,
-                             ElementNode, Node, NodeKind,
+                             ElementNode, Node,
                              ProcessingInstructionNode, TextNode)
 
 

@@ -1,0 +1,93 @@
+"""LRU caching of XPath parsing and query-tree compilation.
+
+Hot query paths repeat: every :meth:`Database.xpath` call re-parses its path
+text and every :meth:`Executor.execute` recompiles the plan's location path,
+even though both are pure functions of their inputs (the compiled
+:class:`~repro.xpath.qtree.QueryTree` carries no per-run state — all
+evaluation state lives in :meth:`QuickXScan.run` locals).  Two small LRU
+caches remove that work:
+
+* :func:`cached_parse` — text (+ namespace bindings) → normalized AST;
+* :func:`cached_compile` — location-path AST → compiled query tree, keyed
+  structurally (dataclass ``repr`` is a faithful structural rendering,
+  including resolved namespace URIs).
+
+Cache traffic reports through the usual counters (``xpath.parse_hits`` /
+``xpath.parse_misses`` / ``xpath.compile_hits`` / ``xpath.compile_misses``)
+so EXPLAIN ANALYZE and benchmarks can see recompilation cost disappear.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.lang import ast
+from repro.lang.parser import parse_xpath
+from repro.xpath.qtree import QueryTree, compile_query
+
+#: Entries kept per cache; small because keys are whole path renderings.
+CACHE_SIZE = 256
+
+_parse_cache: OrderedDict[tuple, ast.Expr] = OrderedDict()
+_compile_cache: OrderedDict[tuple, QueryTree] = OrderedDict()
+
+
+def _lookup(cache: OrderedDict, key: tuple) -> object | None:
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+    return hit
+
+
+def _store(cache: OrderedDict, key: tuple, value: object) -> None:
+    cache[key] = value
+    if len(cache) > CACHE_SIZE:
+        cache.popitem(last=False)
+
+
+def cached_parse(text: str, namespaces: dict[str, str] | None = None,
+                 stats: StatsRegistry | None = None) -> ast.Expr:
+    """Parse and normalize ``text``, memoized on (text, bindings).
+
+    Returns a shared AST object: callers must treat it as immutable (all
+    engine consumers do — the planner and compiler build their own nodes).
+    """
+    stats = stats if stats is not None else GLOBAL_STATS
+    ns_key = None if not namespaces else tuple(sorted(namespaces.items()))
+    key = (text, ns_key)
+    hit = _lookup(_parse_cache, key)
+    if hit is not None:
+        stats.add("xpath.parse_hits")
+        return hit
+    stats.add("xpath.parse_misses")
+    expr = parse_xpath(text, namespaces)
+    _store(_parse_cache, key, expr)
+    return expr
+
+
+def cached_compile(path: ast.LocationPath, collect_result_values: bool = True,
+                   stats: StatsRegistry | None = None) -> QueryTree:
+    """Compile ``path`` into a query tree, memoized on its structure."""
+    stats = stats if stats is not None else GLOBAL_STATS
+    key = (repr(path), collect_result_values)
+    hit = _lookup(_compile_cache, key)
+    if hit is not None:
+        stats.add("xpath.compile_hits")
+        return hit
+    stats.add("xpath.compile_misses")
+    query = compile_query(path, collect_result_values=collect_result_values)
+    _store(_compile_cache, key, query)
+    return query
+
+
+def clear_caches() -> None:
+    """Drop both caches (tests and memory-pressure hooks)."""
+    _parse_cache.clear()
+    _compile_cache.clear()
+
+
+def cache_info() -> dict[str, int]:
+    """Current cache occupancy."""
+    return {"parse": len(_parse_cache), "compile": len(_compile_cache),
+            "capacity": CACHE_SIZE}

@@ -38,12 +38,12 @@ from typing import Iterable
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
 from repro.errors import ExecutionError
 from repro.lang.ast import LocationPath
-from repro.lang.parser import parse_xpath
 from repro.xdm.events import EventKind, SaxEvent
 from repro.xpath import functions
+from repro.xpath.cache import cached_compile, cached_parse
 from repro.xpath.qtree import (EdgeType, PBinary, PFunction, PLiteral,
                                PPathRef, PSelfRef, PUnary, QNode, QueryTree,
-                               Target, compile_query)
+                               Target)
 from repro.xpath.values import (Item, arithmetic, effective_boolean,
                                 general_compare, to_number)
 
@@ -53,7 +53,7 @@ class MatchInstance:
     pair currently live on its query node's stack."""
 
     __slots__ = ("qnode", "depth", "order", "node_id", "kind", "local",
-                 "value_parts", "seq", "link")
+                 "value_parts", "seq", "link", "cidx")
 
     def __init__(self, qnode: QNode, depth: int, order: int,
                  node_id: bytes | None, kind: str, local: str,
@@ -68,6 +68,8 @@ class MatchInstance:
             [] if qnode.need_value and kind == "element" else None
         self.seq: dict[int, list[Item]] = {}
         self.link = link
+        #: Position in the run's live-collector list (swap-pop removal).
+        self.cidx = -1
 
     def item(self, value: str | None) -> Item:
         return Item(self.order, self.node_id, self.kind, self.local, value)
@@ -114,6 +116,13 @@ class QuickXScan:
     def run(self, events: Iterable[SaxEvent]) -> list[Item]:
         """Evaluate over one document's event stream; returns the result
         sequence in document order."""
+        with self.stats.trace("xscan.run", qnodes=self.query.size) as span:
+            result = self._run(events)
+            if span is not None:
+                span.set("rows", len(result))
+            return result
+
+    def _run(self, events: Iterable[SaxEvent]) -> list[Item]:
         stacks: list[list[MatchInstance]] = [[] for _ in self.query.nodes]
         collectors: list[MatchInstance] = []
         live_units = 0
@@ -131,6 +140,7 @@ class QuickXScan:
                                      local, link)
             stacks[qnode.qid].append(instance)
             if instance.value_parts is not None:
+                instance.cidx = len(collectors)
                 collectors.append(instance)
             live_units += 1
             matchings += 1
@@ -161,8 +171,15 @@ class QuickXScan:
         def finalize(instance: MatchInstance) -> None:
             nonlocal live_units
             live_units -= 1
-            if instance.value_parts is not None:
-                collectors.remove(instance)
+            if instance.cidx >= 0:
+                # O(1) removal: swap the last live collector into this
+                # instance's slot (order among collectors is irrelevant —
+                # each accumulates text independently).
+                last = collectors.pop()
+                if last is not instance:
+                    collectors[instance.cidx] = last
+                    last.cidx = instance.cidx
+                instance.cidx = -1
             qnode = instance.qnode
             # Sideways propagation (transitivity, Table 1): collected
             # sequences of descendant-edge children flow to the enclosing
@@ -337,11 +354,17 @@ def evaluate(path: LocationPath | str, events: Iterable[SaxEvent],
              namespaces: dict[str, str] | None = None,
              stats: StatsRegistry | None = None,
              collect_result_values: bool = True) -> list[Item]:
-    """Parse/compile (if needed) and run QuickXScan over an event stream."""
+    """Parse/compile (if needed) and run QuickXScan over an event stream.
+
+    Parsing and compilation go through the LRU caches of
+    :mod:`repro.xpath.cache`, so repeated evaluation of the same path only
+    pays for the scan itself.
+    """
     if isinstance(path, str):
-        parsed = parse_xpath(path, namespaces)
+        parsed = cached_parse(path, namespaces, stats=stats)
         if not isinstance(parsed, LocationPath):
             raise ExecutionError(f"{path!r} is not a location path")
         path = parsed
-    query = compile_query(path, collect_result_values=collect_result_values)
+    query = cached_compile(path, collect_result_values=collect_result_values,
+                           stats=stats)
     return QuickXScan(query, stats=stats).run(events)

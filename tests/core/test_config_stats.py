@@ -68,12 +68,33 @@ class TestStats:
         assert stats.get("a") == 0
         assert stats.gauge("b") == 0
 
-    def test_snapshot_merges(self):
+    def test_snapshot_namespaces_gauges(self):
         stats = StatsRegistry()
         stats.add("a", 2)
         stats.set_high_water("b", 7)
         snap = stats.snapshot()
-        assert snap == {"a": 2, "b": 7}
+        assert snap == {"a": 2, "gauge:b": 7}
+
+    def test_snapshot_gauge_never_clobbers_counter(self):
+        # Regression: a gauge sharing a counter's name used to silently
+        # overwrite the counter in snapshot().
+        stats = StatsRegistry()
+        stats.add("xscan.peak_units", 100)
+        stats.set_high_water("xscan.peak_units", 3)
+        snap = stats.snapshot()
+        assert snap["xscan.peak_units"] == 100
+        assert snap["gauge:xscan.peak_units"] == 3
+        # Both round-trip independently of insertion order.
+        stats2 = StatsRegistry()
+        stats2.set_high_water("x", 9)
+        stats2.add("x", 1)
+        assert stats2.snapshot() == {"x": 1, "gauge:x": 9}
+
+    def test_counters_excludes_gauges(self):
+        stats = StatsRegistry()
+        stats.add("a", 2)
+        stats.set_high_water("b", 7)
+        assert stats.counters() == {"a": 2}
 
     def test_global_registry_exists(self):
         assert isinstance(GLOBAL_STATS, StatsRegistry)

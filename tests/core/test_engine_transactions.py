@@ -1,7 +1,5 @@
 """Engine-level transaction and crash/restart tests."""
 
-import pytest
-
 from repro.core.engine import Database
 from repro.rdb.locks import LockMode
 from repro.rdb.wal import LogManager

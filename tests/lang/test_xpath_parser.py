@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import XPathSyntaxError, XPathUnsupportedError
 from repro.lang.ast import (Axis, BinaryOp, FunctionCall, KindTest, Literal,
-                            LocationPath, NameTest, Step, UnaryOp)
+                            LocationPath, NameTest, UnaryOp)
 from repro.lang.parser import parse_path, parse_xpath
 from repro.lang.xpath_lexer import tokenize
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.engine import Database
-from repro.core.stats import StatsRegistry
 from repro.query.plan import AccessMethod
 
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import XmlParseError
-from repro.xdm.events import EventKind, build_tree, events_from_tree
+from repro.xdm.events import EventKind, build_tree
 from repro.xdm.parser import parse, parse_sax
 from repro.xdm.serializer import serialize
 from repro.xdm.tokens import TokenStream

@@ -13,7 +13,6 @@ from repro.rdb.buffer import BufferPool
 from repro.rdb.storage import Disk
 from repro.xdm.events import EventKind
 from repro.xdm.names import NameTable
-from repro.xdm.parser import parse
 from repro.xdm.serializer import serialize
 from repro.xmlstore.store import XmlStore
 from repro.xmlstore.update import XmlUpdater

@@ -1,0 +1,74 @@
+"""Regression tests for O(1) value-collector removal in QuickXScan.
+
+``finalize`` used to call ``collectors.remove(instance)`` — a linear scan
+per finalized instance, quadratic over deeply nested collecting instances.
+The swap-pop replacement must not change any observable result: each
+collector accumulates text independently, so order among collectors is
+irrelevant, but an off-by-one in the slot bookkeeping would corrupt the
+string values fed into predicates and result items.
+"""
+
+from repro.xdm.events import assign_node_ids
+from repro.xdm.parser import parse
+from repro.xpath.domeval import evaluate_dom
+from repro.xpath.quickxscan import evaluate
+
+
+def both(query, doc):
+    stream = evaluate(query, assign_node_ids(parse(doc).events()))
+    dom = evaluate_dom(query, parse(doc).events())
+    assert [(i.kind, i.local, i.value) for i in stream] == \
+        [(i.kind, i.local, i.value) for i in dom], query
+    return stream
+
+
+def nested(depth, leaf_text):
+    return "<a>" * depth + leaf_text + "</a>" * depth
+
+
+RECURSIVE_DOC = (
+    "<a><a><b>x1</b><a><b>x2</b></a></a><b>x3</b>"
+    "<c><a><b>x4</b></a></c></a>"
+)
+
+
+class TestValueCollectingResultsUnchanged:
+    def test_value_predicate_on_recursive_doc(self):
+        # Every open <a> instance collects its string value concurrently;
+        # finalization order exercises the collector bookkeeping.
+        result = both("//a/b[. = 'x2']", RECURSIVE_DOC)
+        assert [i.value for i in result] == ["x2"]
+
+    def test_text_collection_under_nesting(self):
+        result = both("//a[b]/b", RECURSIVE_DOC)
+        assert [i.value for i in result] == ["x1", "x2", "x3", "x4"]
+
+    def test_many_concurrent_collectors(self):
+        # 60 simultaneously open collecting instances of the same qnode:
+        # with the old list.remove this is the quadratic worst case, and
+        # any slot-swap bug would splice text into the wrong instance.
+        doc = nested(60, "payload")
+        result = both("//a[. = 'payload']", doc)
+        assert len(result) == 60
+        assert all(i.value == "payload" for i in result)
+
+    def test_interleaved_text_between_collector_lifetimes(self):
+        doc = ("<r><a>one<a>two</a>three</a>"
+               "<a>four</a><a><a>five</a>six</a></r>")
+        result = both("//a[. = 'onetwothree']", doc)
+        assert len(result) == 1
+
+    def test_mixed_predicates_and_result_values(self):
+        doc = ("<r><p><q>k1</q><v>10</v></p><p><q>k2</q><v>20</v></p>"
+               "<p><q>k1</q><v>30</v></p></r>")
+        result = both("/r/p[q = 'k1']/v", doc)
+        assert [i.value for i in result] == ["10", "30"]
+
+    def test_repeated_runs_are_stateless(self):
+        # The compiled tree is shared via the compile cache: back-to-back
+        # runs (including over different documents) must not see leftover
+        # collector state.
+        first = both("//a[. = 'payload']", nested(5, "payload"))
+        second = both("//a[. = 'payload']", nested(5, "payload"))
+        assert [i.value for i in first] == [i.value for i in second]
+        assert both("//a[. = 'other']", nested(3, "other"))

@@ -1,7 +1,5 @@
 """Tests for QuickXScan, cross-checked against the DOM baseline."""
 
-import pytest
-
 from repro.core.stats import StatsRegistry
 from repro.lang.parser import parse_xpath
 from repro.xdm.events import assign_node_ids
