@@ -48,7 +48,9 @@ def test_e5b_figure6_query(benchmark):
         events = build_events(n_blocks)
         stats = StatsRegistry()
         qx_result = QuickXScan(query, stats=stats).run(iter(events))
-        qx_time = timed(lambda: QuickXScan(query).run(iter(events)))
+        qx_time = timed(
+            lambda query=query, events=events: QuickXScan(query)
+            .run(iter(events)))
         qx_times[n_blocks] = qx_time
         dom = DomEvaluator(stats=stats)
         dom_result = dom.evaluate(FIGURE6_QUERY, iter(events))
@@ -107,9 +109,12 @@ def test_e5b_streaming_baseline_comparison(benchmark):
     for label, path, events in cases:
         query = compile_query(parse_xpath(path),
                               collect_result_values=False)
-        qx_time = timed(lambda: QuickXScan(query).run(iter(events)))
+        qx_time = timed(
+            lambda query=query, events=events: QuickXScan(query)
+            .run(iter(events)))
         naive = NaiveStreamEvaluator(path)
-        naive_time = timed(lambda: naive.run(iter(events)))
+        naive_time = timed(
+            lambda naive=naive, events=events: naive.run(iter(events)))
         qx_ids = {i.node_id for i in QuickXScan(query).run(iter(events))}
         naive_ids = {i.node_id for i in naive.run(iter(events))}
         assert qx_ids == naive_ids

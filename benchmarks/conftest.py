@@ -21,10 +21,10 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
               else len(str(h)) for i, h in enumerate(headers)]
     print(f"\n== {title} ==")
-    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths, strict=True)))
     print("  ".join("-" * w for w in widths))
     for row in rows:
-        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths, strict=True)))
 
 
 #: Where benchmark trace artifacts land (gitignored).

@@ -1,0 +1,39 @@
+"""Engine-aware static analysis and runtime invariant sanitizers.
+
+The engine's whole design bet — native XML storage reusing relational
+infrastructure — holds only while every component obeys the substrate's
+protocols: pin/unpin pairing on the buffer pool, no raw-disk access around
+it, one global lock-acquisition order, log-before-flush, and a sound metric
+namespace.  This package machine-checks those contracts twice over:
+
+* statically: ``python -m repro.analyze src/`` runs AST-based checkers
+  (:mod:`~repro.analyze.pins`, :mod:`~repro.analyze.rawdisk`,
+  :mod:`~repro.analyze.lockorder`, :mod:`~repro.analyze.waldiscipline`,
+  :mod:`~repro.analyze.statshygiene`) against the tree, with a documented
+  suppression baseline (:mod:`~repro.analyze.baseline`);
+* dynamically: :mod:`~repro.analyze.sanitize` arms assertions inside the
+  buffer pool, lock manager, WAL and transaction manager (zero pins and
+  zero locks at every transaction boundary, LSN monotonicity, witnessed
+  lock order), tripped as ``sanitize.*`` counters plus
+  :class:`~repro.errors.SanitizerError`.
+"""
+
+from repro.analyze.baseline import Baseline, BaselineError, write_baseline
+from repro.analyze.cli import all_checkers, main
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import (Checker, SourceModule, iter_python_files,
+                                     run_checkers)
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "Severity",
+    "SourceModule",
+    "all_checkers",
+    "iter_python_files",
+    "main",
+    "run_checkers",
+    "write_baseline",
+]

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.analyze``."""
+
+from repro.analyze.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Checker framework: parsed modules, scope resolution, and the driver.
+
+The analyzer is purely AST-based — it never imports the code under analysis,
+so it can run against any tree (including deliberately broken test fixtures)
+without executing engine code.  Each :class:`SourceModule` wraps one parsed
+file with the parent links and scope qualnames every checker needs; a
+:class:`Checker` visits modules one at a time and may emit cross-module
+findings in :meth:`Checker.finish` (the lock-order graph and the stats
+registry are whole-program properties).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analyze.findings import Finding
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+class SourceModule:
+    """One parsed python file plus the lookup structures checkers share."""
+
+    def __init__(self, path: Path, root: Path, text: str | None = None) -> None:
+        self.path = path
+        self.root = root
+        self.relpath = self._relativize(path, root)
+        self.text = path.read_text() if text is None else text
+        self.tree = ast.parse(self.text, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        self._scopes: dict[ast.AST, str] = {}
+        self._index(self.tree, parent=None, scope="")
+
+    @staticmethod
+    def _relativize(path: Path, root: Path) -> str:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _index(self, node: ast.AST, parent: ast.AST | None, scope: str) -> None:
+        if parent is not None:
+            self._parents[node] = parent
+        self._scopes[node] = scope
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            scope = f"{scope}.{node.name}" if scope else node.name
+        for child in ast.iter_child_nodes(node):
+            self._index(child, node, scope)
+
+    # -- lookups -----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Dotted qualname of the scope enclosing ``node`` ('' = module)."""
+        return self._scopes.get(node, "")
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self._parents.get(current)
+        return None
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+    def finding(self, code: str, checker: str, node: ast.AST, message: str,
+                **kwargs) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        kwargs.setdefault("scope", self.scope_of(node))
+        return Finding(code=code, checker=checker, path=self.relpath,
+                       line=getattr(node, "lineno", 0),
+                       column=getattr(node, "col_offset", 0),
+                       message=message, **kwargs)
+
+
+def call_name(call: ast.Call) -> str:
+    """Name of the called attribute/function (``''`` when unnameable)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def receiver_text(call: ast.Call) -> str:
+    """Dotted text of a call's receiver (``'self.pool'`` for
+    ``self.pool.fetch(...)``; ``''`` for plain-name calls)."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    parts: list[str] = []
+    node: ast.expr = func.value
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))
+
+
+class Checker:
+    """Base class: one engine invariant, one or more finding codes."""
+
+    #: short identifier used in reports and ``--select``
+    name: str = ""
+    #: finding codes this checker can emit
+    codes: tuple[str, ...] = ()
+    #: one-line description of the encoded invariant
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        """Per-file pass; yield findings local to ``module``."""
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """Cross-file pass, run once after every module was visited."""
+        return ()
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(part.name for part in p.parents)))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def run_checkers(checkers: Iterable[Checker], paths: Iterable[Path],
+                 root: Path | None = None,
+                 on_error=None) -> list[Finding]:
+    """Parse every file under ``paths`` and run ``checkers`` over them.
+
+    Files that fail to parse are reported through ``on_error`` (a callable
+    receiving ``(path, exception)``) and skipped — the analyzer must degrade
+    gracefully on a broken tree rather than crash the CI job.
+    """
+    checkers = list(checkers)
+    root = root if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            module = SourceModule(path, root)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            if on_error is not None:
+                on_error(path, exc)
+            continue
+        for checker in checkers:
+            findings.extend(checker.check_module(module))
+    for checker in checkers:
+        findings.extend(checker.finish())
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings

@@ -1,0 +1,162 @@
+"""Lock-order checker: the static acquisition graph must be acyclic.
+
+Deadlock freedom by ordering: if every code path acquires lock *classes* in
+one global order, no waits-for cycle can form between classes.  The engine's
+lock resources are class-tagged tuples — ``("row", table, rid)``,
+``("doc", column, docid)``, ``("node", docid, node_id)`` — built by the
+``*_resource`` helpers in ``repro.cc.document``, so the class of most
+acquisition sites is statically visible.
+
+The checker extracts every acquisition site (``try_acquire`` /
+``try_lock`` / ``Transaction.lock``), classifies its resource, and adds an
+edge *a → b* whenever one function acquires class ``a`` before class ``b``
+(under two-phase locking the first lock is still held at the second site).
+After all modules are visited:
+
+* **LOCK001** — a cycle in the class graph: two code paths acquire the same
+  classes in opposite orders, a potential deadlock even though each path is
+  locally correct.
+* **LOCK002** — a lock acquisition inside an ``except`` handler: acquiring
+  while unwinding inverts whatever order the happy path established and
+  runs while the transaction may already be aborting.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import Checker, SourceModule, call_name
+
+_ACQUIRE_METHODS = {"try_acquire": 1, "lock": 0, "try_lock": 0}
+
+
+def classify_resource(node: ast.expr | None) -> str | None:
+    """Static lock class of a resource expression, if derivable.
+
+    ``("row", table, rid)`` → ``row``; ``row_resource(...)`` → ``row``;
+    anything else (bare names, parameters) is unclassifiable.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Tuple) and node.elts:
+        first = node.elts[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name.endswith("_resource") and len(name) > len("_resource"):
+            return name[:-len("_resource")]
+    return None
+
+
+def _resource_arg(call: ast.Call) -> ast.expr | None:
+    method = call_name(call)
+    index = _ACQUIRE_METHODS.get(method)
+    if index is None:
+        return None
+    if len(call.args) > index:
+        return call.args[index]
+    for keyword in call.keywords:
+        if keyword.arg == "resource":
+            return keyword.value
+    return None
+
+
+class LockOrderChecker(Checker):
+    """LOCK001/LOCK002: cross-file lock-class ordering and handler locks."""
+
+    name = "lock-order"
+    codes = ("LOCK001", "LOCK002")
+    description = ("static lock-acquisition graph must be acyclic; no lock "
+                   "acquisition inside except handlers")
+
+    def __init__(self) -> None:
+        #: class -> class -> list of (path, line, scope) witnesses
+        self.edges: dict[str, dict[str, list[tuple[str, int, str]]]] = \
+            defaultdict(lambda: defaultdict(list))
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for function in module.functions():
+            sites: list[tuple[str, ast.Call]] = []
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node) not in _ACQUIRE_METHODS:
+                    continue
+                if module.enclosing_function(node) is not function:
+                    continue  # nested function: analyzed on its own
+                yield from self._check_handler_lock(module, node)
+                lock_class = classify_resource(_resource_arg(node))
+                if lock_class is not None:
+                    sites.append((lock_class, node))
+            sites.sort(key=lambda item: (item[1].lineno, item[1].col_offset))
+            for i, (class_a, _call_a) in enumerate(sites):
+                for class_b, call_b in sites[i + 1:]:
+                    if class_a == class_b:
+                        continue
+                    self.edges[class_a][class_b].append(
+                        (module.relpath, call_b.lineno,
+                         module.scope_of(call_b)))
+
+    def _check_handler_lock(self, module: SourceModule,
+                            call: ast.Call) -> Iterator[Finding]:
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.ExceptHandler):
+                yield module.finding(
+                    "LOCK002", self.name, call,
+                    f"lock acquisition ({call_name(call)}) inside an except "
+                    f"handler: acquiring while unwinding subverts the lock "
+                    f"order and may run mid-abort",
+                    detail=call_name(call))
+                return
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return
+
+    def finish(self) -> Iterator[Finding]:
+        graph = {a: set(bs) for a, bs in self.edges.items()}
+        for cycle in _find_cycles(graph):
+            witnesses: list[tuple[str, int]] = []
+            pairs = list(zip(cycle, cycle[1:] + cycle[:1], strict=True))
+            for a, b in pairs:
+                path, line, _scope = self.edges[a][b][0]
+                witnesses.append((path, line))
+            order = " -> ".join(cycle + [cycle[0]])
+            at = ", ".join(f"{p}:{line}" for p, line in witnesses)
+            yield Finding(
+                code="LOCK001", checker=self.name,
+                path=witnesses[0][0], line=witnesses[0][1], column=0,
+                message=(f"lock-order cycle {order}: opposite acquisition "
+                         f"orders (witnesses: {at}) can deadlock"),
+                detail="/".join(sorted(set(cycle))),
+                related=tuple(witnesses))
+
+
+def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Every distinct elementary cycle's node set, one witness path each."""
+    cycles: list[list[str]] = []
+    seen_sets: set[frozenset[str]] = set()
+    visited: set[str] = set()
+
+    def dfs(node: str, path: list[str], on_path: set[str]) -> None:
+        visited.add(node)
+        path.append(node)
+        on_path.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ in on_path:
+                cycle = path[path.index(succ):]
+                key = frozenset(cycle)
+                if key not in seen_sets:
+                    seen_sets.add(key)
+                    cycles.append(list(cycle))
+            elif succ not in visited:
+                dfs(succ, path, on_path)
+        path.pop()
+        on_path.discard(node)
+
+    for start in sorted(graph):
+        if start not in visited:
+            dfs(start, [], set())
+    return cycles

@@ -1,0 +1,163 @@
+"""Pin-leak checker: every buffer-pool pin must reach ``unpin`` on all paths.
+
+The buffer pool's contract (``repro.rdb.buffer``) is strict pin/unpin
+pairing: a frame pinned by ``fetch``/``new_page`` that is never unpinned can
+never be evicted, and a quiesce point (checkpoint, crash-harness restart)
+fails on it.  The safe idioms are:
+
+* the ``pool.page(...)`` context manager (pairing is structural);
+* ``fetch``/``new_page`` immediately guarded by ``try``/``finally`` whose
+  ``finally`` unpins;
+* an explicit *handoff*: the function returns the pinned result to a caller
+  that owns the unpin (the pool's own ``new_page`` does this).
+
+Everything else is reported:
+
+* **PIN001** — a pin with no ``unpin`` anywhere in the enclosing function
+  (and no handoff): a structural leak.
+* **PIN002** — a pin whose ``unpin`` is not in a ``finally``: leaks the
+  frame whenever an intervening statement raises (the error-path leak class
+  the runtime sanitizer catches one test too late).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import (Checker, SourceModule, call_name,
+                                     receiver_text)
+
+_PIN_METHODS = {"fetch", "new_page"}
+_POOLISH = ("pool",)
+
+
+def _is_pool_receiver(call: ast.Call) -> bool:
+    receiver = receiver_text(call).lower()
+    if not receiver:
+        return False
+    last = receiver.rsplit(".", 1)[-1]
+    return any(last == p or last.endswith("_" + p) or last.endswith(p)
+               for p in _POOLISH)
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    """Names bound by an assignment statement (tuple targets included)."""
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _contains_unpin(nodes: Iterable[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and call_name(node) == "unpin":
+                return True
+    return False
+
+
+def _statement_of(module: SourceModule, node: ast.AST) -> ast.stmt | None:
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = module.parent(current)
+    return current  # type: ignore[return-value]
+
+
+def _block_of(module: SourceModule, stmt: ast.stmt) -> list[ast.stmt]:
+    parent = module.parent(stmt)
+    if parent is None:
+        return []
+    for field_name in ("body", "orelse", "finalbody", "handlers"):
+        block = getattr(parent, field_name, None)
+        if isinstance(block, list) and stmt in block:
+            return block
+    return []
+
+
+class PinLeakChecker(Checker):
+    """PIN001/PIN002: buffer-pool pins must reach ``unpin`` on all paths."""
+
+    name = "pin-leak"
+    codes = ("PIN001", "PIN002")
+    description = ("BufferPool.fetch/new_page results must be unpinned on "
+                   "all paths (finally) or explicitly handed off")
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for call in module.calls():
+            if call_name(call) not in _PIN_METHODS:
+                continue
+            if not _is_pool_receiver(call):
+                continue
+            function = module.enclosing_function(call)
+            if function is None:
+                continue  # module-level experiment scripts own their pins
+            yield from self._check_pin(module, call, function)
+
+    def _check_pin(self, module: SourceModule, call: ast.Call,
+                   function: ast.FunctionDef | ast.AsyncFunctionDef
+                   ) -> Iterator[Finding]:
+        stmt = _statement_of(module, call)
+        if stmt is None:  # pragma: no cover - calls always sit in statements
+            return
+        detail = f"{receiver_text(call)}.{call_name(call)}"
+        if self._protected_by_finally(module, stmt):
+            return
+        if not _contains_unpin(function.body):
+            # A function that never unpins may still be correct: it hands
+            # the pinned result to its caller (the pool's own new_page).
+            if self._handed_off(function, stmt):
+                return
+            yield module.finding(
+                "PIN001", self.name, call,
+                f"{detail}() pins a frame but {function.name}() never "
+                f"unpins and never hands the pin off", detail=detail)
+        else:
+            yield module.finding(
+                "PIN002", self.name, call,
+                f"{detail}() pin is not exception-safe: unpin is not in a "
+                f"finally, so an error between pin and unpin leaks the "
+                f"frame (use pool.page() or try/finally)", detail=detail)
+
+    @staticmethod
+    def _protected_by_finally(module: SourceModule, stmt: ast.stmt) -> bool:
+        """Pin inside a try whose finally unpins, or immediately followed
+        by such a try (the ``data = pool.fetch(p)`` / ``try: ... finally:
+        unpin`` idiom of ``BufferPool.page``)."""
+        for ancestor in module.ancestors(stmt):
+            if isinstance(ancestor, ast.Try) and ancestor.finalbody and \
+                    _contains_unpin(ancestor.finalbody):
+                return True
+        block = _block_of(module, stmt)
+        if stmt in block:
+            index = block.index(stmt)
+            if index + 1 < len(block):
+                nxt = block[index + 1]
+                if isinstance(nxt, ast.Try) and nxt.finalbody and \
+                        _contains_unpin(nxt.finalbody):
+                    return True
+        return False
+
+    @staticmethod
+    def _handed_off(function: ast.FunctionDef | ast.AsyncFunctionDef,
+                    stmt: ast.stmt) -> bool:
+        """The pinned result escapes through a return: the caller owns it."""
+        if isinstance(stmt, ast.Return):
+            return True
+        names = _assigned_names(stmt)
+        if not names:
+            return False
+        for node in ast.walk(function):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for ref in ast.walk(node.value):
+                    if isinstance(ref, ast.Name) and ref.id in names:
+                        return True
+        return False

@@ -1,0 +1,58 @@
+"""Raw-disk bypass checker: all page I/O goes through the buffer pool.
+
+The engine's reuse of relational infrastructure only measures (and only
+recovers) what flows through the buffer pool: ``disk.page_reads`` /
+``disk.page_writes`` stand in for physical I/O, eviction writeback keeps the
+clean-only-after-write guarantee, and the WAL's log-before-flush discipline
+is enforced at the pool boundary.  A component that touches the device's
+page primitives directly bypasses all three.
+
+**DISK001** flags calls to the :class:`~repro.rdb.storage.Disk` page
+primitives (``read_page``, ``write_page``, ``raw_page``, ``corrupt_page``,
+``allocate_page``) in any module other than the storage layer itself
+(``repro/rdb/storage.py``), the buffer pool (``repro/rdb/buffer.py``) and
+the fault injector's device wrapper (``repro/fault/disk.py``), which models
+the hardware and must reach under the checksums by design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import (Checker, SourceModule, call_name,
+                                     receiver_text)
+
+_PRIMITIVES = {"read_page", "write_page", "raw_page", "corrupt_page",
+               "allocate_page"}
+
+#: path suffixes (posix, relative) allowed to touch the device directly.
+_ALLOWED_SUFFIXES = (
+    "repro/rdb/storage.py",
+    "repro/rdb/buffer.py",
+    "repro/fault/disk.py",
+)
+
+
+class RawDiskChecker(Checker):
+    """DISK001: no component bypasses the buffer pool for page I/O."""
+
+    name = "raw-disk"
+    codes = ("DISK001",)
+    description = ("only rdb.storage, rdb.buffer and fault.disk may call "
+                   "disk page primitives directly")
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if module.relpath.endswith(_ALLOWED_SUFFIXES):
+            return
+        for call in module.calls():
+            method = call_name(call)
+            if method not in _PRIMITIVES:
+                continue
+            receiver = receiver_text(call)
+            yield module.finding(
+                "DISK001", self.name, call,
+                f"{receiver or '<call>'}.{method}() bypasses the buffer "
+                f"pool: page I/O outside rdb.storage/rdb.buffer/fault.disk "
+                f"evades I/O accounting, eviction writeback and WAL "
+                f"ordering", detail=f"{method}")

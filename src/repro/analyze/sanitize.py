@@ -1,0 +1,201 @@
+"""Runtime invariant sanitizers: the dynamic half of ``repro.analyze``.
+
+The static checkers prove what is visible in the AST; the sanitizers catch
+what only shows up at runtime.  When armed (``REPRO_SANITIZE=1`` in the
+environment, or :func:`enable`), the storage substrate turns its protocol
+assumptions into hard assertions:
+
+* **buffer pool** — double-unpin detection, and zero pinned frames at every
+  transaction boundary and at ``Database.close``;
+* **lock manager** — all locks of a transaction released at commit/abort,
+  and the *witnessed* lock-acquisition order recorded per transaction so a
+  runtime inversion (class B taken while A is held on one path, A-after-B
+  on another) trips immediately and can be cross-checked against the static
+  lock-order graph;
+* **WAL** — LSN monotonicity across appends.
+
+Every trip increments a ``sanitize.*`` counter on the component's stats
+registry (so ``explain_analyze`` traces and experiment reports show them)
+and raises :class:`~repro.errors.SanitizerError`.  Checks performed count
+into ``sanitize.checks``: a sanitized run that did no checking is itself a
+signal the wiring broke.
+
+This module is imported by the substrate (buffer/locks/wal/txn), so it must
+not import any engine component — only the error hierarchy.  All hooks are
+no-ops while disarmed; the hot-path cost is one module-level bool test.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.stats import StatsRegistry
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+#: armed state; resolved lazily from the environment on first query.
+_enabled: bool | None = None
+
+#: buffer pools created while armed (for end-of-test quiesce checks).
+#: Strong references on purpose: a pool that leaked pins and then went out
+#: of scope must still be visible at the checkpoint.  The harness clears
+#: the set at every test boundary, so nothing accumulates.
+_pools: set = set()
+
+#: per-transaction ordered list of distinct lock classes acquired.
+_lock_classes: dict[int, list[str]] = {}
+#: witnessed class graph: a -> set of b acquired while a was held.
+_witnessed_edges: dict[str, set[str]] = defaultdict(set)
+
+
+def enabled() -> bool:
+    """Whether sanitizers are armed (env ``REPRO_SANITIZE`` or programmatic)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get(_ENV_FLAG, "").strip() not in ("", "0")
+    return _enabled
+
+
+def enable() -> None:
+    """Arm the sanitizers for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Disarm the sanitizers and drop witnessed state."""
+    global _enabled
+    _enabled = False
+    reset_witness()
+    _pools.clear()
+
+
+def trip(stats: "StatsRegistry", name: str, message: str) -> None:
+    """Record a sanitizer trip and fail loudly.
+
+    ``name`` becomes the counter ``sanitize.<name>``; the counter is bumped
+    *before* raising so a harness that catches the error still sees the
+    trip in its stats snapshot.
+    """
+    stats.add(f"sanitize.{name}")
+    stats.trace_event(f"sanitize.{name}")
+    raise SanitizerError(f"sanitizer [{name}]: {message}")
+
+
+# -- buffer pool -----------------------------------------------------------
+
+def register_pool(pool: object) -> None:
+    """Track ``pool`` for quiesce checks (called from BufferPool.__init__)."""
+    _pools.add(pool)
+
+
+def tracked_pools() -> list[object]:
+    """Live pools registered since the last :func:`clear_tracked_pools`."""
+    return list(_pools)
+
+
+def clear_tracked_pools() -> None:
+    _pools.clear()
+
+
+def check_pool_quiesced(pool, stats: "StatsRegistry",
+                        where: str = "txn end") -> None:
+    """Assert no frame of ``pool`` is pinned (transaction boundary check)."""
+    stats.add("sanitize.checks")
+    pinned = pool.pinned_pages()
+    if pinned:
+        trip(stats, "pinned_at_txn_end",
+             f"{len(pinned)} frame(s) still pinned at {where}: "
+             f"pages {pinned[:8]} — some component lost an unpin")
+
+
+# -- lock manager ----------------------------------------------------------
+
+def classify_lock_resource(resource: object) -> str:
+    """Runtime lock class of a resource (mirrors the static classifier)."""
+    if isinstance(resource, tuple) and resource and \
+            isinstance(resource[0], str):
+        return resource[0]
+    return type(resource).__name__
+
+
+def on_lock_acquired(stats: "StatsRegistry", txn_id: int,
+                     resource: object) -> None:
+    """Witness one granted lock; trip on a runtime lock-order inversion."""
+    lock_class = classify_lock_resource(resource)
+    held = _lock_classes.setdefault(txn_id, [])
+    if held and held[-1] == lock_class:
+        return
+    if lock_class in held:
+        return  # re-acquisition of an earlier class: no new edge
+    for earlier in held:
+        _witnessed_edges[earlier].add(lock_class)
+        if earlier in _witnessed_edges.get(lock_class, ()):
+            trip(stats, "lock_order",
+                 f"witnessed lock-order inversion: txn {txn_id} acquired "
+                 f"{lock_class!r} while holding {earlier!r}, but another "
+                 f"transaction acquired them in the opposite order — "
+                 f"potential deadlock the static graph should also show")
+    held.append(lock_class)
+
+
+def on_locks_released(txn_id: int) -> None:
+    _lock_classes.pop(txn_id, None)
+
+
+def check_txn_locks_released(locks, txn_id: int,
+                             stats: "StatsRegistry") -> None:
+    """Assert the lock manager holds nothing for ``txn_id`` any more."""
+    stats.add("sanitize.checks")
+    held = locks.locks_held(txn_id)
+    if held:
+        trip(stats, "locks_at_txn_end",
+             f"txn {txn_id} still holds {held} lock(s) after commit/abort — "
+             f"release_all was skipped or raced")
+
+
+def witnessed_edges() -> dict[str, set[str]]:
+    """Copy of the witnessed lock-class graph (for cross-checks/tests)."""
+    return {a: set(bs) for a, bs in _witnessed_edges.items() if bs}
+
+
+def cross_check_static_order(static_edges: Iterable[tuple[str, str]]
+                             ) -> list[str]:
+    """Contradictions between witnessed runtime order and the static graph.
+
+    Returns human-readable descriptions of witnessed edges whose *reverse*
+    appears in the static graph: runtime behaviour the static analysis
+    would call a cycle.  Empty list = the two views agree.
+    """
+    static = {(a, b) for a, b in static_edges}
+    contradictions = []
+    for a, successors in _witnessed_edges.items():
+        for b in successors:
+            if (b, a) in static:
+                contradictions.append(
+                    f"runtime acquired {a!r} before {b!r} but the static "
+                    f"graph orders {b!r} before {a!r}")
+    return sorted(contradictions)
+
+
+def reset_witness() -> None:
+    """Forget witnessed lock order (between tests/workloads)."""
+    _lock_classes.clear()
+    _witnessed_edges.clear()
+
+
+# -- WAL -------------------------------------------------------------------
+
+def check_lsn_monotonic(stats: "StatsRegistry", last_lsn: int,
+                        lsn: int) -> None:
+    """Assert ``lsn`` advances past ``last_lsn`` (called on append)."""
+    stats.add("sanitize.checks")
+    if lsn <= last_lsn:
+        trip(stats, "lsn_regression",
+             f"WAL LSN regressed: append produced lsn {lsn} after "
+             f"{last_lsn} — log ordering is broken")

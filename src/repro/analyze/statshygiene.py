@@ -1,0 +1,126 @@
+"""Stats-hygiene checker: metric names are conventional and registered once.
+
+Every layer reports into the shared :class:`~repro.core.stats.StatsRegistry`
+and counters are created on first use — so a typo'd name silently splits a
+metric in two, and experiments comparing ``buffer.hits`` across runs read
+garbage.  Two invariants keep the namespace sound:
+
+* **STAT001** — the ``component.metric`` convention: lowercase dotted names,
+  at least two segments (``buffer.hits``, ``sanitize.double_unpin``).
+  Applies to counters, gauges, spans and trace events alike.
+* **STAT002** — single registration point: every counter/gauge name used by
+  engine code must appear in ``METRICS`` in ``repro/core/stats.py``.  The
+  registry is extracted from the analyzed tree's own ``core/stats.py`` (no
+  import of the code under analysis), so the check stays honest on any
+  tree.  A name in code but not in the registry is a typo or an
+  undocumented metric; either way the registry is the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import Checker, SourceModule, call_name
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: StatsRegistry entry points taking a metric name as first argument.
+_REGISTERED_METHODS = {"add", "set_high_water"}
+_CONVENTION_ONLY_METHODS = {"trace", "trace_event", "get", "gauge"}
+
+_STATSISH = re.compile(r"(^|\.|_)stats$", re.IGNORECASE)
+
+
+def _is_stats_receiver(call: ast.Call) -> bool:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    value = func.value
+    if isinstance(value, ast.Name):
+        return bool(_STATSISH.search(value.id))
+    if isinstance(value, ast.Attribute):
+        return bool(_STATSISH.search(value.attr))
+    return False
+
+
+class StatsHygieneChecker(Checker):
+    """STAT001/STAT002: metric naming convention and registration."""
+
+    name = "stats-hygiene"
+    codes = ("STAT001", "STAT002")
+    description = ("counter/gauge names follow component.metric and are "
+                   "registered in repro.core.stats.METRICS")
+
+    def __init__(self) -> None:
+        self.registry: set[str] | None = None
+        #: (module, call node info) of registered-method uses, checked in
+        #: finish() once the registry module has been seen.
+        self._uses: list[tuple[str, int, int, str, str]] = []
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if module.relpath.endswith("core/stats.py"):
+            self.registry = _extract_registry(module.tree)
+        for call in module.calls():
+            method = call_name(call)
+            if method not in _REGISTERED_METHODS and \
+                    method not in _CONVENTION_ONLY_METHODS:
+                continue
+            if not _is_stats_receiver(call):
+                continue
+            if not call.args:
+                continue
+            arg = call.args[0]
+            if not (isinstance(arg, ast.Constant) and
+                    isinstance(arg.value, str)):
+                continue  # dynamic names are the registry's blind spot
+            metric = arg.value
+            if not _NAME_RE.match(metric):
+                yield module.finding(
+                    "STAT001", self.name, call,
+                    f"metric name {metric!r} violates the component.metric "
+                    f"convention (lowercase dotted, >= 2 segments)",
+                    detail=metric)
+            elif method in _REGISTERED_METHODS:
+                self._uses.append((module.relpath, call.lineno,
+                                   call.col_offset, module.scope_of(call),
+                                   metric))
+
+    def finish(self) -> Iterator[Finding]:
+        if self.registry is None:
+            return  # tree has no core/stats.py: nothing to register against
+        for path, line, column, scope, metric in self._uses:
+            if metric in self.registry:
+                continue
+            yield Finding(
+                code="STAT002", checker=self.name, path=path, line=line,
+                column=column, scope=scope, detail=metric,
+                message=(f"metric {metric!r} is not registered in "
+                         f"repro.core.stats.METRICS — register it once "
+                         f"there (or fix the typo)"))
+
+
+def _extract_registry(tree: ast.Module) -> set[str]:
+    """Literal string members of the ``METRICS = frozenset({...})`` binding."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        target_names = []
+        if isinstance(node, ast.Assign):
+            target_names = [t.id for t in node.targets
+                            if isinstance(t, ast.Name)]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                target_names = [node.target.id]
+            value = node.value
+        else:
+            continue
+        if "METRICS" not in target_names:
+            continue
+        for constant in ast.walk(value):
+            if isinstance(constant, ast.Constant) and \
+                    isinstance(constant.value, str):
+                names.add(constant.value)
+    return names

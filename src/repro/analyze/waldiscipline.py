@@ -1,0 +1,105 @@
+"""WAL-discipline checker: log before flush; never swallow engine errors.
+
+Write-ahead logging only protects what it precedes: a buffer flush that is
+not dominated by hardening the log can push a page image to disk whose
+changes the log has not recorded yet — exactly the window a crash turns
+into unrecoverable divergence.  In this engine the discipline is structural:
+``TransactionManager.checkpoint`` runs ``on_checkpoint`` (the pool flush)
+and then writes the CHECKPOINT record, and everything else flushes through
+that path.
+
+* **WAL001** — a ``flush_page``/``flush_all`` call site (outside the buffer
+  pool itself) with no WAL append/checkpoint earlier in the same function:
+  the flush is not visibly dominated by hardening the log.
+* **WAL002** — a bare ``except:`` or blanket ``except Exception:`` whose
+  handler neither re-raises nor names what it expects: it swallows
+  ``repro.errors`` types (DeadlockError, ChecksumError, SanitizerError...)
+  that upper layers rely on seeing.  Narrow the clause to the errors the
+  call site actually anticipates.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import Checker, SourceModule, call_name
+
+_FLUSH_METHODS = {"flush_page", "flush_all"}
+#: calls that harden the log (or are the log-hardening path itself).
+_LOG_METHODS = {"append", "checkpoint", "log"}
+
+#: the pool's own module owns the flush primitives.
+_FLUSH_OWNERS = ("repro/rdb/buffer.py",)
+
+_BLANKET = {"Exception", "BaseException"}
+
+
+class WalDisciplineChecker(Checker):
+    """WAL001/WAL002: log-before-flush and no swallowed engine errors."""
+
+    name = "wal-discipline"
+    codes = ("WAL001", "WAL002")
+    description = ("flushes must be dominated by a WAL append; no bare/"
+                   "blanket except may swallow engine errors")
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        if not module.relpath.endswith(_FLUSH_OWNERS):
+            yield from self._check_flushes(module)
+        yield from self._check_swallows(module)
+
+    def _check_flushes(self, module: SourceModule) -> Iterator[Finding]:
+        for call in module.calls():
+            method = call_name(call)
+            if method not in _FLUSH_METHODS:
+                continue
+            function = module.enclosing_function(call)
+            if function is None:
+                continue  # scripts/experiments flush at will
+            if self._dominated_by_append(function, call):
+                continue
+            yield module.finding(
+                "WAL001", self.name, call,
+                f"{method}() is not dominated by a WAL append/checkpoint in "
+                f"{function.name}(): a crash after this flush can leave "
+                f"page images the log never recorded (route through "
+                f"TransactionManager.checkpoint)", detail=method)
+
+    @staticmethod
+    def _dominated_by_append(function: ast.AST, flush: ast.Call) -> bool:
+        flush_pos = (flush.lineno, flush.col_offset)
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) not in _LOG_METHODS:
+                continue
+            if (node.lineno, node.col_offset) < flush_pos:
+                return True
+        return False
+
+    def _check_swallows(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                kind = "bare except:"
+            elif isinstance(node.type, ast.Name) and node.type.id in _BLANKET:
+                kind = f"except {node.type.id}:"
+            else:
+                continue
+            if self._reraises(node):
+                continue
+            yield module.finding(
+                "WAL002", self.name, node,
+                f"{kind} swallows engine errors (repro.errors types such as "
+                f"DeadlockError/ChecksumError) — narrow it to the "
+                f"exceptions this site anticipates",
+                detail=kind)
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+        return False

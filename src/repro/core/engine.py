@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from decimal import Decimal
 from typing import Callable, TypeVar
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.stats import StatsRegistry
 from repro.errors import (CatalogError, DeadlockError, DocumentNotFoundError,
@@ -94,6 +95,7 @@ class Database:
             lock_backoff_cap=config.lock_backoff_cap,
             checkpoint_every=config.checkpoint_interval,
             on_checkpoint=self.pool.flush_all)
+        self.txns.on_txn_end = self._sanitize_txn_end
         self.tables: dict[str, Table] = {}
         self.xml_stores: dict[tuple[str, str], XmlStore] = {}
         self.docid_indexes: dict[str, BTree] = {}
@@ -324,6 +326,44 @@ class Database:
         return serialize(self._store(table, column).document(docid).events())
 
     # -- transactions and fault tolerance ------------------------------------------------
+
+    def _sanitize_txn_end(self, txn) -> None:
+        """Armed-sanitizer hook: no frame may stay pinned past a txn."""
+        if _sanitize.enabled():
+            _sanitize.check_pool_quiesced(
+                self.pool, self.stats,
+                where=f"end of txn {txn.txn_id} ({txn.state.value})")
+
+    def close(self) -> None:
+        """Quiesce the engine: checkpoint, flush, and (when armed) assert
+        the shutdown invariants.
+
+        Closing is idempotent.  With sanitizers armed
+        (``REPRO_SANITIZE=1``), close verifies that no transaction is still
+        active, no buffer frame is pinned and no lock is held — the state a
+        clean shutdown must reach before the device image could be detached.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        if _sanitize.enabled():
+            active = sorted(self.txns.active)
+            if active:
+                _sanitize.trip(self.stats, "active_txns_at_close",
+                               f"close() with transactions still active: "
+                               f"{active}")
+            _sanitize.check_pool_quiesced(self.pool, self.stats,
+                                          where="Database.close")
+        self.checkpoint()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Close (and run shutdown sanitizers) only on clean exit: an
+        # in-flight exception already owns the failure report.
+        if exc_type is None:
+            self.close()
 
     def checkpoint(self) -> None:
         """Flush dirty pages and write a WAL CHECKPOINT record.

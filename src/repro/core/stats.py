@@ -14,6 +14,53 @@ from contextlib import contextmanager
 from typing import Iterator
 
 
+#: The metric registry: every counter and gauge name engine code reports.
+#:
+#: Counters are created on first use, so a typo'd name would silently split
+#: a metric in two; this frozenset is the single registration point the
+#: ``stats-hygiene`` checker of :mod:`repro.analyze` verifies every literal
+#: ``add``/``set_high_water`` call site against.  Names follow the
+#: ``component.metric`` convention (lowercase dotted, >= 2 segments).
+METRICS: frozenset[str] = frozenset({
+    # physical device
+    "disk.page_reads", "disk.page_writes", "disk.checksum_failures",
+    # buffer pool
+    "buffer.hits", "buffer.misses", "buffer.evictions", "buffer.flushes",
+    # B+tree index manager
+    "btree.searches", "btree.inserts", "btree.deletes",
+    "btree.entries_scanned",
+    # table spaces
+    "ts.records_read", "ts.records_inserted", "ts.records_updated",
+    "ts.records_deleted", "ts.bytes_touched",
+    # write-ahead log and recovery
+    "wal.records", "wal.bytes", "wal.checkpoints",
+    "recovery.replayed", "recovery.torn_tail_dropped",
+    "recovery.from_checkpoint",
+    # lock manager
+    "lock.acquired", "lock.waits", "lock.wait_steps", "lock.deadlocks",
+    # transactions
+    "txn.begun", "txn.aborts", "txn.retries", "txn.deadlocks",
+    "txn.deadlock_aborts", "txn.timeout_aborts", "txn.lock_timeouts",
+    # fault injection
+    "fault.injected", "fault.crashes",
+    # query executor
+    "exec.docs_evaluated", "exec.index_probes", "exec.candidates",
+    "exec.anchors_verified", "exec.exactness_misses",
+    # XPath evaluation engines
+    "xscan.events", "xscan.matchings", "xscan.peak_units",
+    "automaton.peak_instances",
+    "domeval.node_visits", "domeval.tree_nodes",
+    # XPath parse/compile caches
+    "xpath.parse_hits", "xpath.parse_misses",
+    "xpath.compile_hits", "xpath.compile_misses",
+    # runtime invariant sanitizers (repro.analyze.sanitize)
+    "sanitize.checks", "sanitize.double_unpin",
+    "sanitize.pinned_at_txn_end", "sanitize.locks_at_txn_end",
+    "sanitize.lock_order", "sanitize.lsn_regression",
+    "sanitize.active_txns_at_close",
+})
+
+
 class StatsRegistry:
     """A named bag of monotonically increasing counters.
 
@@ -50,6 +97,12 @@ class StatsRegistry:
     ``xpath.parse_hits`` / ``xpath.parse_misses`` /
     ``xpath.compile_hits`` / ``xpath.compile_misses``
         XPath parse/compile cache behaviour (:mod:`repro.xpath.cache`)
+    ``sanitize.checks`` / ``sanitize.*``
+        runtime invariant sanitizer activity: checks performed and trips
+        per invariant (:mod:`repro.analyze.sanitize`)
+
+    The full machine-checked list lives in :data:`METRICS`; a new metric
+    must be added there (the ``stats-hygiene`` checker enforces it).
 
     A registry can additionally carry a :class:`~repro.obs.tracer.Tracer`
     (``stats.tracer``); components open spans through :meth:`trace` /

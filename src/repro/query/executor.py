@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
-from repro.errors import PlanningError
+from repro.errors import NodeIdError, PlanningError, StorageError, XmlError
 from repro.lang import ast
 from repro.xdm import nodeid
 from repro.xdm.events import EventKind, SaxEvent
@@ -137,7 +137,7 @@ class Executor:
                         try:
                             for _ in range(depth):
                                 anchor = nodeid.parent(anchor)
-                        except Exception:
+                        except NodeIdError:
                             continue  # value node too shallow: cannot match
                         group_anchors.add((hit.docid, anchor))
                 if candidate_set is None:
@@ -176,7 +176,7 @@ class Executor:
         doc = self.store.document(docid)
         try:
             ancestors = doc.ancestry(anchor)
-        except Exception:
+        except (XmlError, StorageError):
             return []  # anchor does not exist (stale/foreign hit)
         # Replay ancestors from record-header context, then the subtree.
         # The anchor's own element is the first event of node_events.

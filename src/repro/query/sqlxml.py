@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.engine import Database
-from repro.errors import SqlSyntaxError
+from repro.errors import QueryError, SqlSyntaxError
 from repro.query.constructors import (Arg, Const, Spec, XAttr, XConcat,
                                       XElem, XForest, XmlAggregator,
                                       compile_template)
@@ -616,7 +616,7 @@ class SqlSession:
         definition = self.db.catalog.table(table)
         names = [c.name for c in definition.columns]
         for rid, row in self.db.tables[table].scan_rids():
-            yield rid, dict(zip(names, row))
+            yield rid, dict(zip(names, row, strict=True))
 
     def _delete(self, statement: Delete) -> list[dict]:
         victims = []
@@ -658,7 +658,7 @@ class SqlSession:
             from repro.lang.parser import parse_xpath as _parse_xpath
             try:
                 parsed = _parse_xpath(condition.xpath)
-            except Exception:
+            except QueryError:
                 parsed = None
             if isinstance(parsed, xpath_ast.LocationPath):
                 matches = self.db.xpath(statement.table, condition.column,
@@ -666,7 +666,7 @@ class SqlSession:
                 qualifying = {m.docid for m in matches}
                 definition = self.db.catalog.table(statement.table)
                 names = [c.name for c in definition.columns]
-                return [dict(zip(names, row))
+                return [dict(zip(names, row, strict=True))
                         for _rid, row in
                         self.db.tables[statement.table].scan_rids()
                         if row[definition.column_index(condition.column)]

@@ -65,7 +65,7 @@ class _Internal:
         out = bytearray([_INTERNAL])
         codec.write_uvarint(out, len(self.seps))
         codec.write_u32(out, self.children[0])
-        for (key, value), child in zip(self.seps, self.children[1:]):
+        for (key, value), child in zip(self.seps, self.children[1:], strict=True):
             codec.write_bytes(out, key)
             codec.write_bytes(out, value)
             codec.write_u32(out, child)
@@ -139,8 +139,12 @@ class BTree:
 
     def _write_new(self, node: _Leaf | _Internal) -> int:
         page_id, data = self.pool.new_page()
-        data[:] = node.serialize(self.pool.page_size)
-        self.pool.unpin(page_id, dirty=True)
+        try:
+            data[:] = node.serialize(self.pool.page_size)
+        finally:
+            # Unpin even when serialize raises: a frame pinned by a failed
+            # split can never be evicted and fails the next quiesce point.
+            self.pool.unpin(page_id, dirty=True)
         return page_id
 
     # -- public API -----------------------------------------------------------

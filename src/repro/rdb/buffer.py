@@ -11,6 +11,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.stats import StatsRegistry
 from repro.errors import BufferPoolError
 from repro.rdb.storage import Disk
@@ -35,6 +36,8 @@ class BufferPool:
         self.capacity = capacity
         self.stats: StatsRegistry = disk.stats
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        if _sanitize.enabled():
+            _sanitize.register_pool(self)
 
     @property
     def page_size(self) -> int:
@@ -73,6 +76,8 @@ class BufferPool:
         """Release one pin on ``page_id``; ``dirty`` marks it modified."""
         frame = self._frames.get(page_id)
         if frame is None or frame.pin_count == 0:
+            if _sanitize.enabled():
+                self.stats.add("sanitize.double_unpin")
             raise BufferPoolError(f"page {page_id} is not pinned")
         frame.pin_count -= 1
         frame.dirty = frame.dirty or dirty
@@ -115,6 +120,11 @@ class BufferPool:
         """Number of resident frames holding unflushed modifications."""
         return sum(1 for frame in self._frames.values() if frame.dirty)
 
+    def pinned_pages(self) -> list[int]:
+        """Page ids of frames currently pinned (sanitizer/quiesce probe)."""
+        return [page_id for page_id, frame in self._frames.items()
+                if frame.pin_count]
+
     def assert_unpinned(self) -> None:
         """Raise :class:`BufferPoolError` if any frame is still pinned.
 
@@ -122,8 +132,7 @@ class BufferPool:
         frame means some component is mid-operation and the pool contents
         are not a consistent image to flush.
         """
-        pinned = [page_id for page_id, frame in self._frames.items()
-                  if frame.pin_count]
+        pinned = self.pinned_pages()
         if pinned:
             raise BufferPoolError(
                 f"pages still pinned at quiesce point: {pinned[:8]}")

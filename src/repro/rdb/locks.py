@@ -17,6 +17,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
 
 
@@ -106,6 +107,8 @@ class LockManager:
         self._held_by_txn[txn_id].add(resource)
         self._waits_for.pop(txn_id, None)
         self.stats.add("lock.acquired")
+        if _sanitize.enabled():
+            _sanitize.on_lock_acquired(self.stats, txn_id, resource)
         return True
 
     def holds(self, txn_id: int, resource: object,
@@ -131,6 +134,8 @@ class LockManager:
         self._waits_for.pop(txn_id, None)
         for edges in self._waits_for.values():
             edges.discard(txn_id)
+        if _sanitize.enabled():
+            _sanitize.on_locks_released(txn_id)
 
     def clear_waits(self, txn_id: int) -> None:
         """Forget ``txn_id``'s waits-for edges without releasing its locks.

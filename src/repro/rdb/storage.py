@@ -109,7 +109,7 @@ class Disk:
         """Persist the device image (pages + checksums) to ``path``."""
         with open(path, "wb") as fh:
             fh.write(self.page_size.to_bytes(4, "big"))
-            for page, checksum in zip(self._pages, self._checksums):
+            for page, checksum in zip(self._pages, self._checksums, strict=True):
                 fh.write(checksum.to_bytes(4, "big"))
                 fh.write(page)
 

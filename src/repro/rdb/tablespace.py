@@ -94,8 +94,10 @@ class TableSpace:
 
     def _new_data_page(self) -> int:
         page_id, data = self.pool.new_page()
-        SlottedPage.format(data)
-        self.pool.unpin(page_id, dirty=True)
+        try:
+            SlottedPage.format(data)
+        finally:
+            self.pool.unpin(page_id, dirty=True)
         self.page_ids.append(page_id)
         self._note_free(page_id, self.pool.page_size - HEADER_SIZE - SLOT_SIZE)
         return page_id
@@ -216,9 +218,11 @@ class TableSpace:
         page_ids = []
         for start in range(0, len(record), chunk):
             page_id, data = self.pool.new_page()
-            piece = record[start:start + chunk]
-            data[:len(piece)] = piece
-            self.pool.unpin(page_id, dirty=True)
+            try:
+                piece = record[start:start + chunk]
+                data[:len(piece)] = piece
+            finally:
+                self.pool.unpin(page_id, dirty=True)
             page_ids.append(page_id)
             self._overflow_pages += 1
         head = bytearray([_OVERFLOW_TAG])

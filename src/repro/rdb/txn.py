@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Callable
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
 from repro.errors import DeadlockError, LockTimeoutError, TransactionError
 from repro.rdb.locks import LockManager, LockMode
@@ -157,6 +158,10 @@ class TransactionManager:
         self.lock_backoff_cap = lock_backoff_cap
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
+        #: optional hook run after every commit/abort once locks are
+        #: released — the engine wires the buffer-pool quiesce sanitizer
+        #: here (see :mod:`repro.analyze.sanitize`).
+        self.on_txn_end: Callable[[Transaction], None] | None = None
         self._commits_since_checkpoint = 0
         self._next_id = 1
         self.active: dict[int, Transaction] = {}
@@ -180,6 +185,11 @@ class TransactionManager:
     def _finish(self, txn: Transaction) -> None:
         self.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
+        if _sanitize.enabled():
+            _sanitize.check_txn_locks_released(self.locks, txn.txn_id,
+                                               self.stats)
+        if self.on_txn_end is not None:
+            self.on_txn_end(txn)
         if txn.state is TxnState.COMMITTED and self.checkpoint_every > 0:
             self._commits_since_checkpoint += 1
             if self._commits_since_checkpoint >= self.checkpoint_every:

@@ -143,7 +143,7 @@ def encode_row(types: list[SqlType], row: tuple) -> bytes:
     if len(types) != len(row):
         raise TypeError_(f"row has {len(row)} values for {len(types)} columns")
     out = bytearray()
-    for sql_type, value in zip(types, row):
+    for sql_type, value in zip(types, row, strict=True):
         encode_value(out, sql_type, value)
     return bytes(out)
 

@@ -31,6 +31,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
 from repro.errors import LogError, RecoveryError
 from repro.rdb import codec
@@ -128,6 +129,7 @@ class LogManager:
         self._records: list[LogRecord] = []
         self._bytes = 0
         self._aborted: set[int] = set()
+        self._last_lsn = -1  # sanitizer: newest hardened LSN
 
     @property
     def next_lsn(self) -> int:
@@ -154,6 +156,10 @@ class LogManager:
             self._hit("wal.commit.pre")
         self._hit("wal.append.pre")
         record = LogRecord(self.next_lsn, txn_id, op, target, payload, extra)
+        if _sanitize.enabled():
+            _sanitize.check_lsn_monotonic(self.stats, self._last_lsn,
+                                          record.lsn)
+        self._last_lsn = record.lsn
         encoded_len = len(record.encode())
         self._records.append(record)
         self._bytes += encoded_len
@@ -204,6 +210,7 @@ class LogManager:
         """Discard the log (after a checkpoint/backup)."""
         self._records.clear()
         self._aborted.clear()
+        self._last_lsn = -1  # LSNs legitimately restart after truncation
 
     def save(self, path: str) -> None:
         """Persist the log for crash/restart tests.

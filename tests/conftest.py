@@ -1,0 +1,63 @@
+"""Suite-wide wiring for the runtime invariant sanitizers.
+
+Run ``pytest --sanitize`` (or set ``REPRO_SANITIZE=1``) to arm the
+:mod:`repro.analyze.sanitize` checks for every test: double-unpin and
+buffer-pool quiesce assertions, lock-release-at-txn-end, witnessed
+lock-order inversions and WAL LSN monotonicity.  On top of the in-engine
+checks, an autouse fixture asserts at the end of every test that no
+buffer pool created by the test still has pinned frames.
+
+Tests that *deliberately* leave frames pinned opt out with
+``@pytest.mark.pinned_ok``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analyze import sanitize
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize", action="store_true", default=False,
+        help="arm the repro.analyze runtime sanitizers for every test "
+             "(equivalent to REPRO_SANITIZE=1)")
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "pinned_ok: the test intentionally leaves buffer-pool frames "
+        "pinned; skip the end-of-test quiesce assertion")
+    if config.getoption("--sanitize") or \
+            os.environ.get("REPRO_SANITIZE", "").strip() not in ("", "0"):
+        sanitize.enable()
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_scope(request: pytest.FixtureRequest):
+    """Per-test sanitizer isolation and end-of-test pool quiesce check."""
+    was_enabled = sanitize.enabled()
+    if was_enabled:
+        sanitize.reset_witness()
+        sanitize.clear_tracked_pools()
+    try:
+        yield
+        if was_enabled and \
+                request.node.get_closest_marker("pinned_ok") is None:
+            for pool in sanitize.tracked_pools():
+                sanitize.check_pool_quiesced(
+                    pool, pool.stats,
+                    where=f"end of test {request.node.name}")
+    finally:
+        # Tests exercising the sanitizers themselves may arm/disarm them;
+        # restore the session-wide state either way.
+        if was_enabled:
+            sanitize.enable()
+            sanitize.reset_witness()
+            sanitize.clear_tracked_pools()
+        else:
+            sanitize.disable()

@@ -75,6 +75,7 @@ class TestEvictionWriteback:
 
 
 class TestNewPageLeak:
+    @pytest.mark.pinned_ok  # the pinned-full pool is the scenario under test
     def test_new_page_with_all_frames_pinned_leaks_no_disk_page(self):
         pool, _ = make_pool(capacity=1)
         pool.new_page()                     # stays pinned
@@ -92,3 +93,4 @@ class TestNewPageLeak:
         second, _ = pool.new_page()
         assert second != first
         assert pool.disk.page_count == 2
+        pool.unpin(second, dirty=True)

@@ -28,7 +28,7 @@ def db():
     database.create_table("catalog", [("id", "bigint"), ("doc", "xml")])
     prices = [50, 80, 120.5, 150, 200, 95, 130]
     discounts = [0.05, 0.2, 0.15, 0.3, 0.02, 0.12, 0.25]
-    for i, (price, discount) in enumerate(zip(prices, discounts)):
+    for i, (price, discount) in enumerate(zip(prices, discounts, strict=True)):
         database.insert("catalog",
                         (i, catalog_doc(price, discount, f"Item{i}")))
     database.create_xpath_index(

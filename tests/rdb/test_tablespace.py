@@ -119,6 +119,6 @@ class TestTableSpace:
         disk = Disk(page_size=256, stats=StatsRegistry())
         space = TableSpace(BufferPool(disk, capacity=8))
         rids = [space.insert(p) for p in payloads]
-        for rid, payload in zip(rids, payloads):
+        for rid, payload in zip(rids, payloads, strict=True):
             assert space.read(rid) == payload
         assert space.record_count == len(payloads)

@@ -16,7 +16,11 @@ def stats():
 
 @pytest.fixture
 def pool(stats):
-    return BufferPool(Disk(page_size=4096, stats=stats), capacity=128)
+    pool = BufferPool(Disk(page_size=4096, stats=stats), capacity=128)
+    yield pool
+    # Every xmlstore test must drain its pins; a leak fails the leaking
+    # test directly even when the sanitizers are not armed.
+    pool.assert_unpinned()
 
 
 @pytest.fixture

@@ -125,7 +125,7 @@ class TestPacker:
         assert covered == node_count
         # Interval ranges are disjoint across the document.
         all_intervals.sort()
-        for (l1, h1), (l2, h2) in zip(all_intervals, all_intervals[1:]):
+        for (l1, h1), (l2, h2) in zip(all_intervals, all_intervals[1:], strict=False):
             assert h1 < l2
 
     def test_index_entry_bound(self):

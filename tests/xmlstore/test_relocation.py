@@ -8,6 +8,8 @@ verify every logical access path stays intact.
 
 import random
 
+import pytest
+
 from repro.core.stats import StatsRegistry
 from repro.rdb.buffer import BufferPool
 from repro.rdb.storage import Disk
@@ -18,13 +20,27 @@ from repro.xmlstore.store import XmlStore
 from repro.xmlstore.update import XmlUpdater
 
 
+@pytest.fixture
 def make_store():
-    pool = BufferPool(Disk(page_size=1024, stats=StatsRegistry()), 64)
-    return XmlStore(pool, NameTable(), record_limit=96)
+    """Store factory whose teardown asserts every pool quiesced.
+
+    Relocation tests hammer the update path; a pin leaked on any of those
+    paths must fail the test that caused it, not poison a later one.
+    """
+    pools = []
+
+    def _make():
+        pool = BufferPool(Disk(page_size=1024, stats=StatsRegistry()), 64)
+        pools.append(pool)
+        return XmlStore(pool, NameTable(), record_limit=96)
+
+    yield _make
+    for pool in pools:
+        pool.assert_unpinned()
 
 
 class TestRelocation:
-    def test_growth_updates_relocate_and_stay_consistent(self):
+    def test_growth_updates_relocate_and_stay_consistent(self, make_store):
         store = make_store()
         doc = "<r>" + "".join(f"<i>v{n}</i>" for n in range(40)) + "</r>"
         store.insert_document_text(1, doc)
@@ -49,7 +65,7 @@ class TestRelocation:
         assert out.startswith("<r>") and out.endswith("</r>")
         assert out.count("<i>") == 40
 
-    def test_interleaved_documents_after_relocation(self):
+    def test_interleaved_documents_after_relocation(self, make_store):
         store = make_store()
         for docid in range(1, 6):
             store.insert_document_text(
@@ -66,7 +82,7 @@ class TestRelocation:
             assert out.count(f"doc{docid}") == 10
         assert serialize(store.document(3).events()).count("Z" * 200) == 10
 
-    def test_value_index_follows_relocations(self):
+    def test_value_index_follows_relocations(self, make_store):
         from repro.indexes.definition import XPathIndexDefinition
         from repro.indexes.manager import XPathValueIndex
         store = make_store()
