@@ -1,0 +1,107 @@
+"""Export the counter-based perf baseline (``BENCH_baseline.json``).
+
+Runs a deterministic miniature of the E-series workloads — bulk insert
+with tree packing (E1/E4), navigational and scan queries (E2/E5), value
+index probes (E6), node-level updates (E3), and a transactional mix with
+an aborted delete — on a fixed configuration, then writes the engine's
+full metrics artifact (counters, gauges, histograms, accounting records,
+slow queries, monitor snapshot) through :mod:`repro.obs.exporters`.
+
+The engine is deterministic, so the counter values are stable across runs
+and machines; the committed ``BENCH_baseline.json`` is the reference a
+perf-affecting change diffs against (``python -m repro.obs.report
+BENCH_baseline.json`` renders it)::
+
+    PYTHONPATH=src python benchmarks/export_baseline.py [output.json]
+"""
+
+import sys
+
+from repro.core.config import EngineConfig
+from repro.core.engine import Database
+from repro.obs.exporters import engine_metrics, write_metrics_json
+
+#: Fixed workload shape — change deliberately; the baseline diffs on it.
+DOCS = 96
+BASELINE_CONFIG = EngineConfig(
+    buffer_pool_pages=8,
+    record_size_limit=512,
+    slow_query_events=64,
+    slow_query_entries_scanned=256,
+)
+
+
+def _document(i: int) -> str:
+    items = "".join(
+        f"<item n='{j}'><name>part-{i}-{j}</name>"
+        f"<price>{(i * 7 + j) % 90 + 10}</price></item>"
+        for j in range(1 + i % 8))
+    return f"<order id='{i}'><customer>c{i % 6}</customer>{items}</order>"
+
+
+def run_workload(db: Database) -> None:
+    db.create_table("orders", [("id", "bigint"), ("doc", "xml")])
+    db.create_xpath_index("price_ix", "orders", "doc",
+                          "/order/item/price", "double")
+
+    # E1/E4: bulk load under transactions (accounting + WAL + packing).
+    rids = []
+    for i in range(DOCS):
+        rids.append(db.run_in_txn(
+            lambda eng, txn, i=i: eng.insert(
+                "orders", (i, _document(i)), txn_id=txn.txn_id)))
+
+    # E2/E5: navigation and scans (QuickXScan histograms, slow queries).
+    db.xpath("orders", "doc", "/order/customer")
+    db.xpath("orders", "doc", "/order/item/name")
+    db.xpath("orders", "doc", "/order/item[price > 50]")
+
+    # E6: value-index probes against the same predicate.
+    from repro.query.plan import AccessMethod
+    db.xpath("orders", "doc", "/order/item[price > 50]",
+             method=AccessMethod.DOCID_LIST)
+
+    # E3: node-level update on one document — replace the text child of
+    # the first matched <customer> element.
+    results = db.xpath("orders", "doc", "/order/customer")
+    updater = db.updater("orders", "doc")
+    target = results[0]
+    assert target.node_id is not None
+    text_id = updater.child_ids(target.docid, target.node_id)[0]
+    updater.replace_text(target.docid, text_id, "c-updated")
+
+    # Transactional mix: an aborted delete exercises logical undo.
+    txn = db.txns.begin()
+    db.delete_row("orders", rids[-1], txn_id=txn.txn_id)
+    txn.abort()
+    db.run_in_txn(lambda eng, t: eng.delete_row(
+        "orders", rids[0], txn_id=t.txn_id))
+
+    db.checkpoint()
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out = argv[0] if argv else "BENCH_baseline.json"
+    db = Database(BASELINE_CONFIG)
+    run_workload(db)
+    artifact = engine_metrics(db)
+    artifact["workload"] = {
+        "name": "bench-baseline",
+        "docs": DOCS,
+        "config": {
+            "buffer_pool_pages": BASELINE_CONFIG.buffer_pool_pages,
+            "record_size_limit": BASELINE_CONFIG.record_size_limit,
+        },
+    }
+    write_metrics_json(artifact, out)
+    counters = artifact["counters"]
+    print(f"wrote {out}: {len(counters)} counters, "
+          f"{len(artifact['histograms'])} histograms, "
+          f"{len(artifact['accounting'])} accounting records, "
+          f"{len(artifact['slow_queries'])} slow queries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,17 +3,20 @@
 Every layer reports into the shared :class:`~repro.core.stats.StatsRegistry`
 and counters are created on first use — so a typo'd name silently splits a
 metric in two, and experiments comparing ``buffer.hits`` across runs read
-garbage.  Two invariants keep the namespace sound:
+garbage.  Three invariants keep the namespace sound:
 
 * **STAT001** — the ``component.metric`` convention: lowercase dotted names,
   at least two segments (``buffer.hits``, ``sanitize.double_unpin``).
-  Applies to counters, gauges, spans and trace events alike.
+  Applies to counters, gauges, histograms, spans and trace events alike.
 * **STAT002** — single registration point: every counter/gauge name used by
   engine code must appear in ``METRICS`` in ``repro/core/stats.py``.  The
   registry is extracted from the analyzed tree's own ``core/stats.py`` (no
   import of the code under analysis), so the check stays honest on any
   tree.  A name in code but not in the registry is a typo or an
   undocumented metric; either way the registry is the fix.
+* **STAT003** — the same single-registration rule for histograms: every
+  literal ``observe()`` name must appear in ``HISTOGRAMS`` beside
+  ``METRICS``, so distribution metrics get the same typo protection.
 """
 
 from __future__ import annotations
@@ -27,9 +30,12 @@ from repro.analyze.framework import Checker, SourceModule, call_name
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 
-#: StatsRegistry entry points taking a metric name as first argument.
+#: StatsRegistry entry points taking a counter/gauge name as first argument.
 _REGISTERED_METHODS = {"add", "set_high_water"}
-_CONVENTION_ONLY_METHODS = {"trace", "trace_event", "get", "gauge"}
+#: Entry points taking a histogram name (checked against HISTOGRAMS).
+_HISTOGRAM_METHODS = {"observe"}
+_CONVENTION_ONLY_METHODS = {"trace", "trace_event", "get", "gauge",
+                            "histogram"}
 
 _STATSISH = re.compile(r"(^|\.|_)stats$", re.IGNORECASE)
 
@@ -47,25 +53,31 @@ def _is_stats_receiver(call: ast.Call) -> bool:
 
 
 class StatsHygieneChecker(Checker):
-    """STAT001/STAT002: metric naming convention and registration."""
+    """STAT001/STAT002/STAT003: metric naming convention and registration."""
 
     name = "stats-hygiene"
-    codes = ("STAT001", "STAT002")
-    description = ("counter/gauge names follow component.metric and are "
-                   "registered in repro.core.stats.METRICS")
+    codes = ("STAT001", "STAT002", "STAT003")
+    description = ("counter/gauge/histogram names follow component.metric "
+                   "and are registered in repro.core.stats METRICS / "
+                   "HISTOGRAMS")
 
     def __init__(self) -> None:
         self.registry: set[str] | None = None
+        self.histogram_registry: set[str] | None = None
         #: (module, call node info) of registered-method uses, checked in
         #: finish() once the registry module has been seen.
         self._uses: list[tuple[str, int, int, str, str]] = []
+        self._observe_uses: list[tuple[str, int, int, str, str]] = []
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         if module.relpath.endswith("core/stats.py"):
-            self.registry = _extract_registry(module.tree)
+            self.registry = _extract_registry(module.tree, "METRICS")
+            self.histogram_registry = _extract_registry(module.tree,
+                                                        "HISTOGRAMS")
         for call in module.calls():
             method = call_name(call)
             if method not in _REGISTERED_METHODS and \
+                    method not in _HISTOGRAM_METHODS and \
                     method not in _CONVENTION_ONLY_METHODS:
                 continue
             if not _is_stats_receiver(call):
@@ -87,23 +99,36 @@ class StatsHygieneChecker(Checker):
                 self._uses.append((module.relpath, call.lineno,
                                    call.col_offset, module.scope_of(call),
                                    metric))
+            elif method in _HISTOGRAM_METHODS:
+                self._observe_uses.append(
+                    (module.relpath, call.lineno, call.col_offset,
+                     module.scope_of(call), metric))
 
     def finish(self) -> Iterator[Finding]:
-        if self.registry is None:
-            return  # tree has no core/stats.py: nothing to register against
-        for path, line, column, scope, metric in self._uses:
-            if metric in self.registry:
-                continue
-            yield Finding(
-                code="STAT002", checker=self.name, path=path, line=line,
-                column=column, scope=scope, detail=metric,
-                message=(f"metric {metric!r} is not registered in "
-                         f"repro.core.stats.METRICS — register it once "
-                         f"there (or fix the typo)"))
+        if self.registry is not None:
+            for path, line, column, scope, metric in self._uses:
+                if metric in self.registry:
+                    continue
+                yield Finding(
+                    code="STAT002", checker=self.name, path=path, line=line,
+                    column=column, scope=scope, detail=metric,
+                    message=(f"metric {metric!r} is not registered in "
+                             f"repro.core.stats.METRICS — register it once "
+                             f"there (or fix the typo)"))
+        if self.histogram_registry is not None:
+            for path, line, column, scope, metric in self._observe_uses:
+                if metric in self.histogram_registry:
+                    continue
+                yield Finding(
+                    code="STAT003", checker=self.name, path=path, line=line,
+                    column=column, scope=scope, detail=metric,
+                    message=(f"histogram {metric!r} is not registered in "
+                             f"repro.core.stats.HISTOGRAMS — register it "
+                             f"once there (or fix the typo)"))
 
 
-def _extract_registry(tree: ast.Module) -> set[str]:
-    """Literal string members of the ``METRICS = frozenset({...})`` binding."""
+def _extract_registry(tree: ast.Module, binding: str) -> set[str]:
+    """Literal string members of a ``<binding> = frozenset({...})`` binding."""
     names: set[str] = set()
     for node in ast.walk(tree):
         target_names = []
@@ -117,7 +142,7 @@ def _extract_registry(tree: ast.Module) -> set[str]:
             value = node.value
         else:
             continue
-        if "METRICS" not in target_names:
+        if binding not in target_names:
             continue
         for constant in ast.walk(value):
             if isinstance(constant, ast.Constant) and \

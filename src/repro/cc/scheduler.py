@@ -18,11 +18,13 @@ instead of livelocking.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
 from repro.errors import TransactionError
+from repro.rdb.txn import AccountingLog, AccountingRecord
 
 
 class LockBackend(Protocol):
@@ -88,6 +90,10 @@ class _Runner:
         self.waited = 0     # simulated steps spent blocked on current lock
         self.backoff = 0    # next cooldown length (0 = no backoff yet)
         self.cooldown = 0   # steps to skip before retrying the lock
+        #: Accounting sink; survives restarts so victim attempts fold into
+        #: the one record the program finally emits.
+        self.sink: Counter[str] = Counter()
+        self.victim_txns: list[int] = []
 
 
 class Scheduler:
@@ -107,7 +113,8 @@ class Scheduler:
                  backoff_initial: int = 1,
                  backoff_cap: int = 16,
                  max_restarts: int | None = None,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 accounting: AccountingLog | None = None) -> None:
         self.locks = locks
         self.rng = random.Random(seed)
         self.max_steps = max_steps
@@ -117,6 +124,11 @@ class Scheduler:
         self.max_restarts = max_restarts
         self.stats = stats if stats is not None else \
             getattr(locks, "stats", None) or GLOBAL_STATS
+        #: Accounting-trace ring: one record per finished program.  Pass a
+        #: :class:`TransactionManager`'s log to merge scheduler programs
+        #: into the same accounting stream as interactive transactions.
+        self.accounting = accounting if accounting is not None \
+            else AccountingLog()
         self._next_txn = 1000  # distinct from interactive txns
 
     def run(self, programs: list[tuple[str, ProgramBody]],
@@ -144,24 +156,42 @@ class Scheduler:
                     waiting.cooldown -= 1
             if runner is None:
                 continue
-            self._step(runner, result)
+            with self.stats.charge(runner.sink):
+                self._step(runner, result)
             if runner.done:
+                self._emit(runner)
                 active.remove(runner)
                 continue
             if self.wait_budget is not None and \
                     runner.waited >= self.wait_budget:
                 self._abort(runner, result, reason="timeout")
                 if runner.done:
+                    self._emit(runner)
                     active.remove(runner)
                 continue
-            # Deadlock handling after blocked steps.
-            cycle = self.locks.find_deadlock()
+            # Deadlock handling after blocked steps.  The scan is charged
+            # to the runner whose blocked step triggered it.
+            with self.stats.charge(runner.sink):
+                cycle = self.locks.find_deadlock()
             if cycle:
                 victim = self._pick_victim(cycle, runners)
                 self._abort(victim, result, reason="deadlock")
                 if victim.done:
+                    self._emit(victim)
                     active.remove(victim)
         return result
+
+    def _emit(self, runner: _Runner) -> None:
+        """Record the finished program's accounting (one record, with all
+        victim attempts folded in)."""
+        self.accounting.emit(AccountingRecord(
+            txn_id=runner.txn_id,
+            isolation="-",  # scheduler programs manage their own locks
+            outcome="committed" if runner.committed else "aborted",
+            retries=runner.restarts,
+            victim_attempts=tuple(runner.victim_txns),
+            counters=dict(runner.sink)))
+        self.stats.add("obs.accounting_records")
 
     def _choose(self, active: list[_Runner], cursor: int,
                 round_robin: bool) -> _Runner | None:
@@ -222,21 +252,24 @@ class Scheduler:
         immediately; the caller removes it from the active set in the same
         iteration.
         """
-        self.locks.release_all(runner.txn_id)
-        runner.iterator.close()
-        result.aborted += 1
-        if reason == "deadlock":
-            result.deadlock_aborts += 1
-            self.stats.add("txn.deadlock_aborts")
-        else:
-            result.timeout_aborts += 1
-            self.stats.add("txn.timeout_aborts")
-        out_of_restarts = self.max_restarts is not None and \
-            runner.restarts >= self.max_restarts
+        with self.stats.charge(runner.sink):
+            self.locks.release_all(runner.txn_id)
+            runner.iterator.close()
+            result.aborted += 1
+            if reason == "deadlock":
+                result.deadlock_aborts += 1
+                self.stats.add("txn.deadlock_aborts")
+            else:
+                result.timeout_aborts += 1
+                self.stats.add("txn.timeout_aborts")
+            out_of_restarts = self.max_restarts is not None and \
+                runner.restarts >= self.max_restarts
+            if runner.restartable and not out_of_restarts:
+                runner.restarts += 1
+                result.restarts += 1
+                self.stats.add("txn.retries")
         if runner.restartable and not out_of_restarts:
-            runner.restarts += 1
-            result.restarts += 1
-            self.stats.add("txn.retries")
+            runner.victim_txns.append(runner.txn_id)
             self._next_txn += 1
             runner.txn_id = self._next_txn
             runner.iterator = runner.body(runner.txn_id)

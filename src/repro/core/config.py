@@ -42,6 +42,17 @@ class EngineConfig:
             versioned NodeID index keeps before garbage collection.
         validate_on_insert: Whether document inserts run schema validation
             when the column has a registered schema.
+        accounting_ring_size: Capacity of the per-transaction accounting
+            ring buffer (DB2 accounting-trace analogue); old records fall
+            off the front once the buffer wraps.
+        slow_query_log_size: Capacity of the slow-query ring buffer.
+        slow_query_page_reads / slow_query_entries_scanned /
+        slow_query_events: Per-query thresholds on ``disk.page_reads``,
+            ``btree.entries_scanned`` and ``xscan.events`` counter deltas.
+            A query exceeding any of them is captured — plan, span tree and
+            counter deltas — in ``Database.slow_queries``.  0 disables a
+            threshold; all-zero disables slow-query capture entirely (and
+            its per-query tracer).
     """
 
     page_size: int = 4096
@@ -56,6 +67,20 @@ class EngineConfig:
     checkpoint_interval: int = 0
     mvcc_retained_versions: int = 4
     validate_on_insert: bool = True
+    accounting_ring_size: int = 256
+    slow_query_log_size: int = 32
+    slow_query_page_reads: int = 0
+    slow_query_entries_scanned: int = 0
+    slow_query_events: int = 0
+
+    def slow_query_thresholds(self) -> dict[str, int]:
+        """Enabled slow-query thresholds as ``{counter name: limit}``."""
+        thresholds = {
+            "disk.page_reads": self.slow_query_page_reads,
+            "btree.entries_scanned": self.slow_query_entries_scanned,
+            "xscan.events": self.slow_query_events,
+        }
+        return {name: limit for name, limit in thresholds.items() if limit > 0}
 
     def with_(self, **changes: object) -> "EngineConfig":
         """Return a copy with the given fields replaced."""

@@ -14,6 +14,7 @@ deterministic, so all physical IDs reproduce.
 from __future__ import annotations
 
 import datetime as _dt
+from collections import Counter
 from dataclasses import dataclass
 from decimal import Decimal
 from typing import Callable, TypeVar
@@ -27,6 +28,7 @@ from repro.indexes.definition import XPathIndexDefinition
 from repro.indexes.manager import XPathValueIndex
 from repro.lang import ast
 from repro.obs.explain import ExplainResult
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tracer import Tracer
 from repro.query.executor import Executor, QueryMatch
 from repro.query.plan import AccessMethod, AccessPlan
@@ -94,8 +96,12 @@ class Database:
             lock_backoff_initial=config.lock_backoff_initial,
             lock_backoff_cap=config.lock_backoff_cap,
             checkpoint_every=config.checkpoint_interval,
-            on_checkpoint=self.pool.flush_all)
+            on_checkpoint=self.pool.flush_all,
+            accounting_size=config.accounting_ring_size)
         self.txns.on_txn_end = self._sanitize_txn_end
+        #: Slow-query ring buffer (see ``EngineConfig.slow_query_*``).
+        self.slow_queries = SlowQueryLog(config.slow_query_log_size)
+        self._slow_thresholds = config.slow_query_thresholds()
         self.tables: dict[str, Table] = {}
         self.xml_stores: dict[tuple[str, str], XmlStore] = {}
         self.docid_indexes: dict[str, BTree] = {}
@@ -169,7 +175,8 @@ class Database:
 
         All XML columns of the row share one implicit DocID (§3.1).
         """
-        with self.stats.trace("db.insert", table=table) as span:
+        with self.stats.trace("db.insert", table=table) as span, \
+                self.txns.charging(txn_id):
             definition = self.catalog.table(table)
             if len(row) != len(definition.columns):
                 raise QueryError(
@@ -217,9 +224,38 @@ class Database:
         return rid
 
     def delete_row(self, table: str, rid: Rid, txn_id: int = -1) -> None:
-        """Delete a base row and its XML documents."""
-        self.log.append(txn_id, LogOp.DELETE, table, rid.to_bytes())
-        self._apply_delete(table, rid)
+        """Delete a base row and its XML documents.
+
+        Inside a transaction the delete registers a logical-undo action
+        (mirroring :meth:`insert`): abort re-inserts the row image —
+        including its XML documents' text — so an aborted delete leaves
+        the document queryable in the live engine, not just after replay.
+        """
+        with self.txns.charging(txn_id):
+            txn = self.txns.active.get(txn_id)
+            definition = self.catalog.table(table)
+            restore_row = self._snapshot_row(definition, rid) \
+                if txn is not None else None
+            self.log.append(txn_id, LogOp.DELETE, table, rid.to_bytes())
+            self._apply_delete(table, rid)
+            if txn is not None:
+                txn.on_abort(lambda: self._apply_insert(
+                    definition, restore_row, None))
+
+    def _snapshot_row(self, definition: TableDef, rid: Rid) -> tuple:
+        """Engine-level row image at ``rid`` (XML columns as text).
+
+        This is the pre-image a delete's logical undo re-inserts.  The
+        restored documents get fresh DocIDs/RIDs — logical undo restores
+        content, not physical placement, exactly like the archive-recovery
+        path.
+        """
+        row = list(self.tables[definition.name].fetch(rid))
+        for position, column in enumerate(definition.columns):
+            if column.sql_type is SqlType.XML and row[position] is not None:
+                row[position] = self.get_document(
+                    definition.name, column.name, row[position])
+        return tuple(row)
 
     def _apply_delete(self, table: str, rid: Rid) -> None:
         definition = self.catalog.table(table)
@@ -260,7 +296,38 @@ class Database:
 
         Returns one result per matched node, joined back to the base row
         through the DocID index (Fig. 2).
+
+        With any ``EngineConfig.slow_query_*`` threshold set, the query
+        runs under a private tracer and its counter deltas are checked on
+        completion: offenders land in :attr:`slow_queries` with their plan
+        and span tree (see :mod:`repro.obs.slowlog`).
         """
+        if not self._slow_thresholds:
+            return self._xpath(table, column, path_text, namespaces,
+                               method)[1]
+        tracer = Tracer(self.stats, name="slow_query")
+        with tracer.install():
+            with self.stats.delta() as deltas:
+                plan, out = self._xpath(table, column, path_text,
+                                        namespaces, method)
+        exceeded = {
+            name: (deltas.get(name, 0), limit)
+            for name, limit in self._slow_thresholds.items()
+            if deltas.get(name, 0) > limit
+        }
+        if exceeded:
+            self.stats.add("obs.slow_queries")
+            self.slow_queries.emit(SlowQueryRecord(
+                table=table, column=column, path=path_text,
+                method=plan.method.value, rows=len(out),
+                counters=deltas, exceeded=exceeded,
+                plan_text=plan.explain(), root=tracer.root))
+        return out
+
+    def _xpath(self, table: str, column: str, path_text: str,
+               namespaces: dict[str, str] | None = None,
+               method: AccessMethod | None = None
+               ) -> tuple[AccessPlan, list[XPathResult]]:
         with self.stats.trace("db.xpath", table=table, column=column,
                               path=path_text) as span:
             plan = self.plan_xpath(table, column, path_text, namespaces,
@@ -284,7 +351,7 @@ class Database:
             if span is not None:
                 span.set("method", plan.method.value)
                 span.set("rows", len(out))
-            return out
+            return plan, out
 
     def explain_analyze(self, table: str, column: str, path_text: str,
                         namespaces: dict[str, str] | None = None,
@@ -345,7 +412,6 @@ class Database:
         """
         if getattr(self, "_closed", False):
             return
-        self._closed = True
         if _sanitize.enabled():
             active = sorted(self.txns.active)
             if active:
@@ -355,6 +421,10 @@ class Database:
             _sanitize.check_pool_quiesced(self.pool, self.stats,
                                           where="Database.close")
         self.checkpoint()
+        # Only now is the engine really closed: if the checkpoint raised
+        # (e.g. under fault injection) a later close() must retry it, not
+        # silently no-op with the shutdown half done.
+        self._closed = True
 
     def __enter__(self) -> "Database":
         return self
@@ -387,12 +457,23 @@ class Database:
         """
         limit = self.config.txn_retry_limit if retries is None else retries
         attempt = 0
+        carry: Counter | None = None
+        victims: list[int] = []
         while True:
             txn = self.txns.begin(isolation or IsolationLevel.READ_COMMITTED)
+            if carry is not None:
+                # Fold the aborted victim attempts into this attempt's
+                # accounting: their charged work, the retry count and their
+                # txn ids all land on the one record the final attempt
+                # emits (a retried transaction is one unit of work).
+                txn.acct.update(carry)
+                txn.retries = attempt
+                txn.victim_attempts = tuple(victims)
             with self.stats.trace("db.txn", txn_id=txn.txn_id,
                                   attempt=attempt) as span:
                 try:
-                    result = body(self, txn)
+                    with txn.charging():
+                        result = body(self, txn)
                 except (DeadlockError, LockTimeoutError):
                     if txn.state is TxnState.ACTIVE:
                         txn.abort()
@@ -401,7 +482,11 @@ class Database:
                     if attempt >= limit:
                         raise
                     attempt += 1
-                    self.stats.add("txn.retries")
+                    self.txns.accounting.retract(txn.txn_id)
+                    with txn.charging():
+                        self.stats.add("txn.retries")
+                    carry = Counter(txn.acct)
+                    victims.append(txn.txn_id)
                     continue
                 except BaseException:
                     if txn.state is TxnState.ACTIVE:

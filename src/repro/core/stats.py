@@ -58,7 +58,103 @@ METRICS: frozenset[str] = frozenset({
     "sanitize.pinned_at_txn_end", "sanitize.locks_at_txn_end",
     "sanitize.lock_order", "sanitize.lsn_regression",
     "sanitize.active_txns_at_close",
+    # instrumentation facility (repro.obs.monitor / slow-query log)
+    "obs.slow_queries", "obs.accounting_records",
 })
+
+
+#: The histogram registry: every distribution metric engine code observes.
+#:
+#: Histograms are the ``stats.observe(name, value)`` side of the facility —
+#: power-of-two bucketed distributions with count/sum/max, for the hot-path
+#: quantities where a mean hides the tail (one query scanning 40k index
+#: entries).  Like :data:`METRICS`, this is the single registration point;
+#: the ``stats-hygiene`` checker (STAT003) verifies every literal
+#: ``observe`` call site against it.
+HISTOGRAMS: frozenset[str] = frozenset({
+    # B+tree: index entries scanned per search/probe
+    "btree.search_entries",
+    # QuickXScan: events consumed and peak live matching units per document
+    "xscan.doc_events", "xscan.doc_peak_units",
+    # lock manager: simulated wait steps per interactive lock acquire
+    "lock.acquire_wait_steps",
+    # write-ahead log: encoded bytes per hardened record
+    "wal.record_bytes",
+    # buffer pool: pool accesses a frame stayed resident before eviction
+    "buffer.eviction_residency",
+})
+
+
+class Histogram:
+    """A power-of-two bucketed distribution with count/sum/max.
+
+    Bucket ``i`` counts observations ``v`` with ``v <= 2**i`` and
+    ``v > 2**(i-1)`` (bucket 0 holds everything ``<= 1``, including zero),
+    so the full distribution costs one integer per occupied power of two —
+    cheap enough to leave enabled on every hot path, yet enough to tell a
+    query that scanned 40k index entries from the median that scanned 12.
+    """
+
+    __slots__ = ("count", "sum", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.max = 0
+        self._buckets: Counter[int] = Counter()
+
+    def observe(self, value: int) -> None:
+        """Record one observation (values are clamped at zero)."""
+        v = int(value)
+        if v < 0:
+            v = 0
+        self.count += 1
+        self.sum += v
+        if v > self.max:
+            self.max = v
+        self._buckets[(v - 1).bit_length() if v > 0 else 0] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def buckets(self) -> list[tuple[int, int]]:
+        """Sorted ``(upper_bound, count)`` pairs for occupied buckets."""
+        return [(1 << index, self._buckets[index])
+                for index in sorted(self._buckets)]
+
+    def cumulative_buckets(self) -> list[tuple[int, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs."""
+        out: list[tuple[int, int]] = []
+        running = 0
+        for bound, count in self.buckets():
+            running += count
+            out.append((bound, running))
+        return out
+
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket holding the ``q``-quantile (0 empty)."""
+        if not self.count:
+            return 0
+        rank = q * self.count
+        for bound, cumulative in self.cumulative_buckets():
+            if cumulative >= rank:
+                return bound
+        return self.max  # pragma: no cover - cumulative covers count
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering (exporters and artifacts)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+            "buckets": [[bound, count] for bound, count in self.buckets()],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram(count={self.count}, sum={self.sum}, "
+                f"max={self.max})")
 
 
 class StatsRegistry:
@@ -113,12 +209,22 @@ class StatsRegistry:
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
         self._gauges: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
         #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
         self.tracer = None
+        #: Innermost accounting sink (a Counter) — see :meth:`charge`.
+        self._sink: Counter[str] | None = None
 
     def add(self, name: str, amount: int = 1) -> None:
-        """Increase counter ``name`` by ``amount``."""
+        """Increase counter ``name`` by ``amount``.
+
+        If an accounting sink is installed (see :meth:`charge`), the
+        increment is mirrored there, attributing the work to whichever
+        transaction the innermost sink belongs to.
+        """
         self._counters[name] += amount
+        if self._sink is not None:
+            self._sink[name] += amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never touched)."""
@@ -133,10 +239,35 @@ class StatsRegistry:
         """Current high-water mark of gauge ``name`` (0 if never set)."""
         return self._gauges.get(name, 0)
 
+    def gauges(self) -> dict[str, int]:
+        """All gauges (high-water marks) as a plain dict."""
+        return dict(self._gauges)
+
+    def observe(self, name: str, value: int) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use).
+
+        Histogram names must be registered in :data:`HISTOGRAMS` — the
+        ``stats-hygiene`` checker (STAT003) enforces it, exactly as
+        STAT002 does for counters.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """Histogram ``name``, or None if never observed."""
+        return self._histograms.get(name)
+
+    def histograms(self) -> dict[str, Histogram]:
+        """All histograms keyed by name."""
+        return dict(self._histograms)
+
     def reset(self) -> None:
-        """Zero every counter and gauge."""
+        """Zero every counter, gauge and histogram."""
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
 
     def counters(self) -> dict[str, int]:
         """All counters (no gauges) as a plain dict."""
@@ -177,6 +308,26 @@ class StatsRegistry:
         tracer = self.tracer
         if tracer is not None:
             tracer.event(name, **attrs)
+
+    @contextmanager
+    def charge(self, sink: "Counter[str] | None") -> Iterator[None]:
+        """Attribute counter increments inside the block to ``sink``.
+
+        The per-transaction accounting of :mod:`repro.rdb.txn` installs a
+        transaction's private Counter here while that transaction's work
+        runs; every :meth:`add` then mirrors into the sink as well as the
+        global bag.  Sinks *replace* rather than stack: nesting a charge
+        for the same transaction (e.g. ``commit()`` inside ``run_in_txn``'s
+        charged body) cannot double-count, and work an inner transaction
+        does under an outer one is attributed to the inner (innermost
+        wins).  Passing ``None`` suspends attribution inside the block.
+        """
+        previous = self._sink
+        self._sink = sink
+        try:
+            yield
+        finally:
+            self._sink = previous
 
     @contextmanager
     def delta(self) -> Iterator[dict[str, int]]:

@@ -13,7 +13,16 @@ the flat counter bag; this package adds the hierarchical view on top of it:
   the chosen :class:`~repro.query.plan.AccessPlan` annotated with actual
   row/entry/page counts per operator;
 * :mod:`repro.obs.export` — JSON export of span trees, used by the
-  benchmarks to attach trace artifacts to BENCH runs.
+  benchmarks to attach trace artifacts to BENCH runs;
+* :class:`~repro.obs.monitor.Monitor` — DISPLAY-style snapshots of live
+  engine state (buffer pool, lock table + waits-for DOT, WAL, transaction
+  table, per-table-space/per-index footprints);
+* :class:`~repro.obs.slowlog.SlowQueryLog` — bounded ring of auto-captured
+  offender queries (plan + span tree + counter deltas);
+* :mod:`repro.obs.exporters` — Prometheus-text and JSON exposition of
+  counters/gauges/histograms;
+* :mod:`repro.obs.report` — ``python -m repro.obs.report``, the
+  human-readable accounting/statistics report.
 
 Tracing is opt-in: components call ``self.stats.trace("name")`` which is a
 reusable no-op unless a :class:`Tracer` is installed on the registry, so the
@@ -22,6 +31,16 @@ uninstrumented cost is ~zero.
 
 from repro.obs.explain import ExplainResult
 from repro.obs.export import span_to_dict, write_trace
+from repro.obs.exporters import (engine_metrics, metrics_to_dict,
+                                 render_prometheus, write_metrics_json,
+                                 write_prometheus)
+from repro.obs.monitor import Monitor, MonitorSnapshot
+from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tracer import Span, Tracer
 
-__all__ = ["ExplainResult", "Span", "Tracer", "span_to_dict", "write_trace"]
+__all__ = [
+    "ExplainResult", "Monitor", "MonitorSnapshot", "SlowQueryLog",
+    "SlowQueryRecord", "Span", "Tracer", "engine_metrics",
+    "metrics_to_dict", "render_prometheus", "span_to_dict", "write_trace",
+    "write_metrics_json", "write_prometheus",
+]

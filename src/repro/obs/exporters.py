@@ -1,0 +1,104 @@
+"""Metric exposition: Prometheus text format and JSON artifacts.
+
+Two renderings of the same :class:`~repro.core.stats.StatsRegistry` state:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` comments, ``_total`` counters, cumulative ``le`` histogram
+  buckets), so a scrape endpoint or a file drop works with standard
+  tooling;
+* :func:`metrics_to_dict` / :func:`engine_metrics` — JSON-safe dicts, the
+  artifact format the benchmarks commit (``BENCH_baseline.json``) and the
+  report CLI (:mod:`repro.obs.report`) consumes.
+
+Metric names keep the engine's ``component.metric`` convention in JSON and
+are mangled to ``repro_component_metric`` for Prometheus.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.core.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> obs)
+    from repro.core.engine import Database
+
+#: Prefix for every Prometheus series exported by the engine.
+PROMETHEUS_PREFIX = "repro"
+
+
+def _mangle(name: str) -> str:
+    """``component.metric`` -> Prometheus-legal ``component_metric``."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_prometheus(stats: StatsRegistry,
+                      prefix: str = PROMETHEUS_PREFIX) -> str:
+    """Counters, gauges and histograms in Prometheus text format.
+
+    Counters get a ``_total`` suffix; histograms emit the standard
+    cumulative ``_bucket{le="..."}`` series (power-of-two bounds plus
+    ``+Inf``) with ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    for name, value in sorted(stats.counters().items()):
+        series = f"{prefix}_{_mangle(name)}_total"
+        lines.append(f"# TYPE {series} counter")
+        lines.append(f"{series} {value}")
+    for name, value in sorted(stats.gauges().items()):
+        series = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# TYPE {series} gauge")
+        lines.append(f"{series} {value}")
+    for name, histogram in sorted(stats.histograms().items()):
+        series = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# TYPE {series} histogram")
+        for bound, cumulative in histogram.cumulative_buckets():
+            lines.append(f'{series}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{series}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{series}_sum {histogram.sum}")
+        lines.append(f"{series}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_to_dict(stats: StatsRegistry) -> dict:
+    """Counters, gauges and histograms as one JSON-safe dict."""
+    return {
+        "counters": dict(sorted(stats.counters().items())),
+        "gauges": dict(sorted(stats.gauges().items())),
+        "histograms": {name: histogram.as_dict()
+                       for name, histogram
+                       in sorted(stats.histograms().items())},
+    }
+
+
+def engine_metrics(db: "Database") -> dict:
+    """The full metrics artifact for a live engine.
+
+    Extends :func:`metrics_to_dict` with the accounting ring, the
+    slow-query log, and a monitor snapshot — everything the report CLI
+    can render from a file instead of a live engine.
+    """
+    from repro.obs.monitor import Monitor
+
+    artifact = metrics_to_dict(db.stats)
+    artifact["accounting"] = [record.to_dict()
+                              for record in db.txns.accounting]
+    artifact["slow_queries"] = [record.to_dict()
+                                for record in db.slow_queries]
+    artifact["snapshot"] = Monitor(db).snapshot().to_dict()
+    return artifact
+
+
+def write_prometheus(stats: StatsRegistry, path: str,
+                     prefix: str = PROMETHEUS_PREFIX) -> None:
+    """Write :func:`render_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(stats, prefix=prefix))
+
+
+def write_metrics_json(metrics: dict, path: str) -> None:
+    """Write a metrics artifact dict (see :func:`engine_metrics`)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics, handle, indent=2, sort_keys=True)
+        handle.write("\n")

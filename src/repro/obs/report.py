@@ -1,0 +1,177 @@
+"""Human-readable engine report: ``python -m repro.obs.report``.
+
+The DB2 analogue is the accounting/statistics report a monitor product
+prints from trace datasets.  Input is either one or more metrics artifacts
+written by :func:`repro.obs.exporters.write_metrics_json` (e.g. the
+benchmark suite's ``benchmarks/artifacts/*.metrics.json`` or the committed
+``BENCH_baseline.json``), or — with no arguments — a small built-in demo
+workload run on an in-memory engine, so the command always has something
+to show::
+
+    python -m repro.obs.report benchmarks/artifacts/*.metrics.json
+    python -m repro.obs.report            # demo workload, live snapshot
+
+The report renders counters grouped by component, histogram tables
+(count / mean / p50 / p90 / max), the accounting summary, and any captured
+slow queries.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _histogram_quantile(buckets: list[list[int]], count: int,
+                        q: float) -> int:
+    """Bucket upper bound holding the ``q``-quantile (artifact form)."""
+    if not count:
+        return 0
+    rank = q * count
+    running = 0
+    for bound, bucket_count in buckets:
+        running += bucket_count
+        if running >= rank:
+            return bound
+    return buckets[-1][0] if buckets else 0
+
+
+def render_counters(counters: dict[str, int]) -> list[str]:
+    """Counters grouped by ``component.`` prefix, zero-free."""
+    lines = ["== COUNTERS =="]
+    groups: dict[str, list[tuple[str, int]]] = {}
+    for name, value in sorted(counters.items()):
+        if not value:
+            continue
+        component = name.split(".", 1)[0]
+        groups.setdefault(component, []).append((name, value))
+    for component in sorted(groups):
+        lines.append(f"  [{component}]")
+        for name, value in groups[component]:
+            lines.append(f"    {name:<32} {value:>12}")
+    if len(lines) == 1:
+        lines.append("  (no counters)")
+    return lines
+
+
+def render_histograms(histograms: dict[str, dict]) -> list[str]:
+    """One table row per histogram: count / mean / p50 / p90 / max."""
+    lines = ["== HISTOGRAMS ==",
+             f"  {'name':<28} {'count':>8} {'mean':>10} "
+             f"{'p50':>8} {'p90':>8} {'max':>10}"]
+    if not histograms:
+        lines.append("  (no histograms)")
+        return lines
+    for name, data in sorted(histograms.items()):
+        count = data.get("count", 0)
+        total = data.get("sum", 0)
+        buckets = data.get("buckets", [])
+        mean = total / count if count else 0.0
+        p50 = _histogram_quantile(buckets, count, 0.5)
+        p90 = _histogram_quantile(buckets, count, 0.9)
+        lines.append(f"  {name:<28} {count:>8} {mean:>10.1f} "
+                     f"{p50:>8} {p90:>8} {data.get('max', 0):>10}")
+    return lines
+
+
+def render_accounting(records: list[dict]) -> list[str]:
+    """Accounting summary: totals plus the costliest transactions."""
+    lines = ["== ACCOUNTING =="]
+    if not records:
+        lines.append("  (no accounting records)")
+        return lines
+    committed = sum(1 for r in records if r.get("outcome") == "committed")
+    aborted = len(records) - committed
+    retries = sum(r.get("retries", 0) for r in records)
+    lines.append(f"  {len(records)} transactions "
+                 f"({committed} committed, {aborted} aborted, "
+                 f"{retries} retries folded)")
+    def cost(record: dict) -> int:
+        return (record.get("pages_read", 0) + record.get("pages_written", 0)
+                + record.get("wal_bytes", 0))
+    lines.append(f"  {'txn':>6} {'iso':>4} {'outcome':>10} {'rd':>6} "
+                 f"{'wr':>6} {'lockw':>6} {'walB':>8} {'retries':>8}")
+    for record in sorted(records, key=cost, reverse=True)[:10]:
+        lines.append(f"  {record.get('txn_id', '?'):>6} "
+                     f"{record.get('isolation', '-'):>4} "
+                     f"{record.get('outcome', '?'):>10} "
+                     f"{record.get('pages_read', 0):>6} "
+                     f"{record.get('pages_written', 0):>6} "
+                     f"{record.get('lock_waits', 0):>6} "
+                     f"{record.get('wal_bytes', 0):>8} "
+                     f"{record.get('retries', 0):>8}")
+    return lines
+
+
+def render_slow_queries(records: list[dict]) -> list[str]:
+    """Top (slow) queries with what they exceeded."""
+    lines = ["== SLOW QUERIES =="]
+    if not records:
+        lines.append("  (none captured)")
+        return lines
+    for record in records:
+        lines.append(f"  {record.get('path', '?')!r} on "
+                     f"{record.get('table', '?')}."
+                     f"{record.get('column', '?')} "
+                     f"[{record.get('method', '?')}] "
+                     f"rows={record.get('rows', 0)}")
+        for name, pair in sorted(record.get("exceeded", {}).items()):
+            lines.append(f"    exceeded {name}: {pair[0]} > {pair[1]}")
+    return lines
+
+
+def render_artifact(artifact: dict, title: str = "") -> str:
+    """The full report for one metrics artifact dict."""
+    lines: list[str] = []
+    if title:
+        lines.append(f"==== ENGINE REPORT: {title} ====")
+    lines += render_counters(artifact.get("counters", {}))
+    lines += render_histograms(artifact.get("histograms", {}))
+    lines += render_accounting(artifact.get("accounting", []))
+    lines += render_slow_queries(artifact.get("slow_queries", []))
+    return "\n".join(lines)
+
+
+def _demo_artifact() -> dict:
+    """Run a tiny workload on an in-memory engine and export it."""
+    from repro.core.config import EngineConfig
+    from repro.core.engine import Database
+    from repro.obs.exporters import engine_metrics
+
+    config = EngineConfig(slow_query_events=1)
+    db = Database(config)
+    db.create_table("demo", [("id", "bigint"), ("doc", "xml")])
+    for i in range(4):
+        db.insert("demo", (i, f"<order id='{i}'><item n='{i}'>"
+                              f"widget</item></order>"))
+    db.xpath("demo", "doc", "/order/item")
+    db.run_in_txn(lambda eng, txn:
+                  eng.insert("demo", (99, "<order id='99'/>"),
+                             txn_id=txn.txn_id))
+    return engine_metrics(db)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    reports: list[str] = []
+    if not argv:
+        reports.append(render_artifact(_demo_artifact(),
+                                       title="demo workload (live)"))
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                artifact = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read metrics artifact {path!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+        reports.append(render_artifact(artifact, title=path))
+    try:
+        print("\n\n".join(reports))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI smoke
+    sys.exit(main())

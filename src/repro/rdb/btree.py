@@ -248,8 +248,11 @@ class BTree:
         """All values stored under exactly ``key``."""
         with self.stats.trace("btree.search", index=self.name) as span:
             self.stats.add("btree.searches")
+            before = self.stats.get("btree.entries_scanned")
             out = [v for k, v in self.scan(low=key, high=key,
                                            high_inclusive=True)]
+            self.stats.observe("btree.search_entries",
+                               self.stats.get("btree.entries_scanned") - before)
             if span is not None:
                 span.set("hits", len(out))
             return out
@@ -258,17 +261,27 @@ class BTree:
         """First value under ``key`` or None (for unique indexes)."""
         with self.stats.trace("btree.search", index=self.name):
             self.stats.add("btree.searches")
+            before = self.stats.get("btree.entries_scanned")
+            out = None
             for _, v in self.scan(low=key, high=key, high_inclusive=True):
-                return v
-            return None
+                out = v
+                break
+            self.stats.observe("btree.search_entries",
+                               self.stats.get("btree.entries_scanned") - before)
+            return out
 
     def seek_ge(self, key: bytes) -> Entry | None:
         """Smallest entry with key ≥ ``key`` (the NodeID-index probe, §3.4)."""
         with self.stats.trace("btree.search", index=self.name):
             self.stats.add("btree.searches")
+            before = self.stats.get("btree.entries_scanned")
+            out = None
             for entry in self.scan(low=key):
-                return entry
-            return None
+                out = entry
+                break
+            self.stats.observe("btree.search_entries",
+                               self.stats.get("btree.entries_scanned") - before)
+            return out
 
     def scan(self, low: bytes | None = None, high: bytes | None = None,
              low_inclusive: bool = True,

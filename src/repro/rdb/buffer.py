@@ -18,12 +18,15 @@ from repro.rdb.storage import Disk
 
 
 class _Frame:
-    __slots__ = ("data", "pin_count", "dirty")
+    __slots__ = ("data", "pin_count", "dirty", "loaded_tick")
 
-    def __init__(self, data: bytearray) -> None:
+    def __init__(self, data: bytearray, loaded_tick: int = 0) -> None:
         self.data = data
         self.pin_count = 0
         self.dirty = False
+        #: Pool access-clock reading when this frame was (re)loaded, so
+        #: eviction can report how long the page stayed resident.
+        self.loaded_tick = loaded_tick
 
 
 class BufferPool:
@@ -36,6 +39,7 @@ class BufferPool:
         self.capacity = capacity
         self.stats: StatsRegistry = disk.stats
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self._clock = 0  # pool accesses; drives eviction-residency ages
         if _sanitize.enabled():
             _sanitize.register_pool(self)
 
@@ -52,7 +56,8 @@ class BufferPool:
         """
         self._make_room()
         page_id = self.disk.allocate_page()
-        frame = _Frame(bytearray(self.page_size))
+        self._clock += 1
+        frame = _Frame(bytearray(self.page_size), loaded_tick=self._clock)
         frame.pin_count = 1
         frame.dirty = True
         self._frames[page_id] = frame
@@ -60,6 +65,7 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> bytearray:
         """Pin page ``page_id`` and return its (mutable) frame bytes."""
+        self._clock += 1
         frame = self._frames.get(page_id)
         if frame is not None:
             self.stats.add("buffer.hits")
@@ -67,7 +73,8 @@ class BufferPool:
         else:
             self.stats.add("buffer.misses")
             self._make_room()
-            frame = _Frame(bytearray(self.disk.read_page(page_id)))
+            frame = _Frame(bytearray(self.disk.read_page(page_id)),
+                           loaded_tick=self._clock)
             self._frames[page_id] = frame
         frame.pin_count += 1
         return frame.data
@@ -148,6 +155,10 @@ class BufferPool:
         """Whether ``page_id`` currently occupies a frame."""
         return page_id in self._frames
 
+    def resident_count(self) -> int:
+        """Number of frames currently holding a page (the LRU depth)."""
+        return len(self._frames)
+
     def _make_room(self) -> None:
         if len(self._frames) < self.capacity:
             return
@@ -160,6 +171,10 @@ class BufferPool:
                 was_dirty = frame.dirty
                 self.flush_page(page_id)
                 self.stats.add("buffer.evictions")
+                # Residency: pool accesses that elapsed while the victim
+                # was resident — small values mean the pool is thrashing.
+                self.stats.observe("buffer.eviction_residency",
+                                   self._clock - frame.loaded_tick)
                 self.stats.trace_event("buffer.evict", page=page_id,
                                        dirty=was_dirty)
                 del self._frames[page_id]

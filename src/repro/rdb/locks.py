@@ -150,6 +150,22 @@ class LockManager:
         """Number of resources currently locked by ``txn_id``."""
         return len(self._held_by_txn.get(txn_id, ()))
 
+    # -- introspection (DISPLAY-style snapshots, repro.obs.monitor) --------
+
+    def lock_table(self) -> dict[object, dict[int, LockMode]]:
+        """Copy of the granted-lock table: ``{resource: {txn: mode}}``.
+
+        Empty holder maps (a resource whose last lock was just released)
+        are omitted, so the result reflects only live grants.
+        """
+        return {resource: dict(holders)
+                for resource, holders in self._granted.items() if holders}
+
+    def waits_for_edges(self) -> dict[int, frozenset[int]]:
+        """Copy of the waits-for graph: ``{waiter: blockers}``."""
+        return {waiter: frozenset(blockers)
+                for waiter, blockers in self._waits_for.items() if blockers}
+
     def find_deadlock(self) -> list[int] | None:
         """Return a cycle of transaction ids in the waits-for graph, if any."""
         graph = {t: set(edges) for t, edges in self._waits_for.items()}

@@ -1,15 +1,25 @@
-"""Transactions: lock scope, logging scope, and logical undo.
+"""Transactions: lock scope, logging scope, logical undo, and accounting.
 
 A thin transaction layer over :mod:`repro.rdb.locks` and
 :mod:`repro.rdb.wal`.  Updates register *undo actions* (closures that
 logically reverse the change); abort runs them in reverse order, mirroring
 the standard relational design the paper builds on.
+
+The layer also hosts the engine's DB2-style *accounting trace*: every
+transaction owns a private counter sink, work performed on its behalf is
+charged there through :meth:`repro.core.stats.StatsRegistry.charge`, and
+commit/abort emits one :class:`AccountingRecord` — txn id, isolation,
+outcome, retries, pages read/written, lock waits, WAL bytes — into the
+manager's bounded :class:`AccountingLog` ring buffer.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from collections import Counter, deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.analyze import sanitize as _sanitize
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
@@ -37,6 +47,111 @@ class IsolationLevel(enum.Enum):
     REPEATABLE_READ = "rr"
 
 
+@dataclass(frozen=True)
+class AccountingRecord:
+    """One transaction's accounting-trace record (DB2 IFCID 3 analogue).
+
+    ``counters`` holds the :class:`~repro.core.stats.StatsRegistry` deltas
+    charged to the transaction — including work folded in from earlier
+    victim attempts when ``run_in_txn`` (or the deterministic scheduler)
+    retried it; those attempts' txn ids are listed in ``victim_attempts``
+    and counted by ``retries``.
+    """
+
+    txn_id: int
+    isolation: str
+    outcome: str  # "committed" | "aborted"
+    retries: int = 0
+    victim_attempts: tuple[int, ...] = ()
+    counters: dict[str, int] = field(default_factory=dict)
+
+    # -- headline figures (the DB2 accounting-report columns) -------------
+
+    @property
+    def pages_read(self) -> int:
+        return self.counters.get("disk.page_reads", 0)
+
+    @property
+    def pages_written(self) -> int:
+        return self.counters.get("disk.page_writes", 0)
+
+    @property
+    def buffer_touches(self) -> int:
+        return (self.counters.get("buffer.hits", 0)
+                + self.counters.get("buffer.misses", 0))
+
+    @property
+    def lock_waits(self) -> int:
+        return self.counters.get("lock.waits", 0)
+
+    @property
+    def lock_wait_steps(self) -> int:
+        return self.counters.get("lock.wait_steps", 0)
+
+    @property
+    def wal_records(self) -> int:
+        return self.counters.get("wal.records", 0)
+
+    @property
+    def wal_bytes(self) -> int:
+        return self.counters.get("wal.bytes", 0)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (exporters and artifacts)."""
+        return {
+            "txn_id": self.txn_id,
+            "isolation": self.isolation,
+            "outcome": self.outcome,
+            "retries": self.retries,
+            "victim_attempts": list(self.victim_attempts),
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "lock_waits": self.lock_waits,
+            "wal_bytes": self.wal_bytes,
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+
+class AccountingLog:
+    """Bounded ring buffer of :class:`AccountingRecord`.
+
+    Old records fall off the front once ``capacity`` is reached, like a
+    wrapped trace dataset; ``emitted`` keeps the lifetime total so tooling
+    can tell a quiet engine from a wrapped buffer.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._ring: deque[AccountingRecord] = deque(maxlen=max(1, capacity))
+        self.emitted = 0
+
+    def emit(self, record: AccountingRecord) -> None:
+        """Append one record (dropping the oldest when full)."""
+        self._ring.append(record)
+        self.emitted += 1
+
+    def retract(self, txn_id: int) -> AccountingRecord | None:
+        """Remove and return the newest record if it belongs to ``txn_id``.
+
+        The retry machinery uses this to *fold* a victim attempt's record
+        into its successor instead of leaving one record per attempt.
+        """
+        if self._ring and self._ring[-1].txn_id == txn_id:
+            self.emitted -= 1
+            return self._ring.pop()
+        return None
+
+    def records(self) -> list[AccountingRecord]:
+        """Buffered records, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[AccountingRecord]:
+        return iter(self._ring)
+
+
 class Transaction:
     """One unit of work; obtained from :class:`TransactionManager`."""
 
@@ -47,6 +162,16 @@ class Transaction:
         self._manager = manager
         self.state = TxnState.ACTIVE
         self._undo: list[Callable[[], None]] = []
+        #: Accounting sink: counter deltas charged to this transaction.
+        self.acct: Counter[str] = Counter()
+        #: Victim attempts folded into this transaction by the retry
+        #: machinery (``Database.run_in_txn``).
+        self.retries = 0
+        self.victim_attempts: tuple[int, ...] = ()
+
+    def charging(self):
+        """Context manager attributing counter increments to this txn."""
+        return self._manager.stats.charge(self.acct)
 
     # -- locking -------------------------------------------------------------
 
@@ -66,6 +191,7 @@ class Transaction:
         from plain contention (wait longer or shed load).
         """
         if self.try_lock(resource, mode):
+            self._manager.stats.observe("lock.acquire_wait_steps", 0)
             return
         manager = self._manager
         budget = manager.lock_wait_budget
@@ -88,6 +214,7 @@ class Transaction:
             manager.stats.add("lock.wait_steps", backoff)
             backoff = min(backoff * 2, max(1, manager.lock_backoff_cap))
             if self.try_lock(resource, mode):
+                manager.stats.observe("lock.acquire_wait_steps", waited)
                 return
 
     # -- logging and undo -----------------------------------------------------
@@ -107,19 +234,21 @@ class Transaction:
 
     def commit(self) -> None:
         self._check_active()
-        self._manager.log.append(self.txn_id, LogOp.COMMIT)
+        with self.charging():
+            self._manager.log.append(self.txn_id, LogOp.COMMIT)
         self.state = TxnState.COMMITTED
         self._undo.clear()
         self._manager._finish(self)
 
     def abort(self) -> None:
         self._check_active()
-        for action in reversed(self._undo):
-            action()
-        self._undo.clear()
-        self._manager.log.append(self.txn_id, LogOp.ABORT)
+        with self.charging():
+            for action in reversed(self._undo):
+                action()
+            self._undo.clear()
+            self._manager.log.append(self.txn_id, LogOp.ABORT)
+            self._manager.stats.add("txn.aborts")
         self.state = TxnState.ABORTED
-        self._manager.stats.add("txn.aborts")
         self._manager._finish(self)
 
     def _check_active(self) -> None:
@@ -149,7 +278,8 @@ class TransactionManager:
                  lock_backoff_initial: int = 1,
                  lock_backoff_cap: int = 16,
                  checkpoint_every: int = 0,
-                 on_checkpoint: Callable[[], None] | None = None) -> None:
+                 on_checkpoint: Callable[[], None] | None = None,
+                 accounting_size: int = 256) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
         self.locks = locks if locks is not None else LockManager(self.stats)
         self.log = log if log is not None else LogManager(self.stats)
@@ -158,6 +288,8 @@ class TransactionManager:
         self.lock_backoff_cap = lock_backoff_cap
         self.checkpoint_every = checkpoint_every
         self.on_checkpoint = on_checkpoint
+        #: Accounting-trace ring buffer (one record per finished txn).
+        self.accounting = AccountingLog(accounting_size)
         #: optional hook run after every commit/abort once locks are
         #: released — the engine wires the buffer-pool quiesce sanitizer
         #: here (see :mod:`repro.analyze.sanitize`).
@@ -171,9 +303,22 @@ class TransactionManager:
         txn = Transaction(self._next_id, self, isolation)
         self._next_id += 1
         self.active[txn.txn_id] = txn
-        self.log.append(txn.txn_id, LogOp.BEGIN)
-        self.stats.add("txn.begun")
+        with txn.charging():
+            self.log.append(txn.txn_id, LogOp.BEGIN)
+            self.stats.add("txn.begun")
         return txn
+
+    def charging(self, txn_id: int):
+        """Charge context for ``txn_id`` if it is active, else a no-op.
+
+        Engine entry points that carry an explicit txn id (DML, the XML
+        updater) route their work through this so per-transaction
+        accounting needs no cooperation from callers.
+        """
+        txn = self.active.get(txn_id)
+        if txn is None:
+            return nullcontext()
+        return txn.charging()
 
     def checkpoint(self) -> None:
         """Write a WAL checkpoint describing the in-flight transactions."""
@@ -183,8 +328,18 @@ class TransactionManager:
         self._commits_since_checkpoint = 0
 
     def _finish(self, txn: Transaction) -> None:
-        self.locks.release_all(txn.txn_id)
+        with txn.charging():
+            self.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
+        self.accounting.emit(AccountingRecord(
+            txn_id=txn.txn_id,
+            isolation=txn.isolation.value,
+            outcome=("committed" if txn.state is TxnState.COMMITTED
+                     else "aborted"),
+            retries=txn.retries,
+            victim_attempts=txn.victim_attempts,
+            counters=dict(txn.acct)))
+        self.stats.add("obs.accounting_records")
         if _sanitize.enabled():
             _sanitize.check_txn_locks_released(self.locks, txn.txn_id,
                                                self.stats)

@@ -128,6 +128,7 @@ class LogManager:
         self.injector = injector
         self._records: list[LogRecord] = []
         self._bytes = 0
+        self._bytes_at_checkpoint = 0
         self._aborted: set[int] = set()
         self._last_lsn = -1  # sanitizer: newest hardened LSN
 
@@ -139,6 +140,11 @@ class LogManager:
     def bytes_written(self) -> int:
         """Total encoded log volume."""
         return self._bytes
+
+    @property
+    def bytes_since_checkpoint(self) -> int:
+        """Log volume hardened since the newest CHECKPOINT record."""
+        return self._bytes - self._bytes_at_checkpoint
 
     @property
     def aborted_txns(self) -> frozenset[int]:
@@ -167,6 +173,7 @@ class LogManager:
             self._aborted.add(txn_id)
         self.stats.add("wal.records")
         self.stats.add("wal.bytes", encoded_len)
+        self.stats.observe("wal.record_bytes", encoded_len)
         self.stats.trace_event("wal.append", op=op.name, lsn=record.lsn,
                                bytes=encoded_len)
         self._hit("wal.append.post")
@@ -189,6 +196,7 @@ class LogManager:
             losers = set(active_txns) | self._aborted
             record = self.append(-1, LogOp.CHECKPOINT, "checkpoint",
                                  encode_checkpoint(losers))
+            self._bytes_at_checkpoint = self._bytes
             self.stats.add("wal.checkpoints")
             if span is not None:
                 span.set("losers", len(losers))
@@ -210,6 +218,9 @@ class LogManager:
         """Discard the log (after a checkpoint/backup)."""
         self._records.clear()
         self._aborted.clear()
+        # bytes_written stays cumulative, but nothing is outstanding after
+        # the checkpoint/backup that justified the truncation.
+        self._bytes_at_checkpoint = self._bytes
         self._last_lsn = -1  # LSNs legitimately restart after truncation
 
     def save(self, path: str) -> None:

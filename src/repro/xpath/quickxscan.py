@@ -300,6 +300,10 @@ class QuickXScan:
 
         stats.add("xscan.matchings", matchings)
         stats.set_high_water("xscan.peak_units", peak_units)
+        # Distribution variants of the global totals: one observation per
+        # scanned document, so the tail (the one huge document) is visible.
+        stats.observe("xscan.doc_events", order)
+        stats.observe("xscan.doc_peak_units", peak_units)
         if root_instance is None:
             raise ExecutionError("event stream had no document")
         main = self.query.main_first

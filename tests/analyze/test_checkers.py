@@ -208,6 +208,45 @@ class TestStatsHygieneChecker:
             """)
         assert findings == []
 
+    def test_unregistered_histogram_is_flagged(self, tmp_path):
+        registry = write(tmp_path, "repro/core/stats.py", """\
+            METRICS = frozenset({"buffer.hits"})
+            HISTOGRAMS = frozenset({"btree.search_entries"})
+            """)
+        user = write(tmp_path, "repro/user.py", """\
+            def touch(stats):
+                stats.observe("btree.search_entries", 3)
+                stats.observe("btree.search_entriez", 3)
+            """)
+        findings = run_checkers([StatsHygieneChecker()], [registry, user],
+                                root=tmp_path)
+        assert [f.code for f in findings] == ["STAT003"]
+        assert findings[0].detail == "btree.search_entriez"
+        assert findings[0].line == line_of(user, "search_entriez")
+
+    def test_histogram_name_convention_is_checked(self, tmp_path):
+        findings = run_on(tmp_path, StatsHygieneChecker(), "hist.py", """\
+            def touch(stats):
+                stats.observe("BadHistogram", 1)
+            """)
+        assert [f.code for f in findings] == ["STAT001"]
+        assert findings[0].detail == "BadHistogram"
+
+    def test_counter_registry_does_not_cover_observe(self, tmp_path):
+        # A name registered only in METRICS is still a STAT003 when used
+        # as a histogram — the registries are separate namespaces.
+        registry = write(tmp_path, "repro/core/stats.py", """\
+            METRICS = frozenset({"buffer.hits"})
+            HISTOGRAMS = frozenset()
+            """)
+        user = write(tmp_path, "repro/user.py", """\
+            def touch(stats):
+                stats.observe("buffer.hits", 1)
+            """)
+        findings = run_checkers([StatsHygieneChecker()], [registry, user],
+                                root=tmp_path)
+        assert [f.code for f in findings] == ["STAT003"]
+
 
 class TestWalDisciplineChecker:
     def test_undominated_flush_is_flagged(self, tmp_path):

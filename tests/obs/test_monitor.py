@@ -1,0 +1,142 @@
+"""DISPLAY-style monitor snapshots against a live engine."""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import Database
+from repro.obs import Monitor
+from repro.rdb.locks import LockMode
+
+
+def seeded_db() -> Database:
+    db = Database()
+    db.create_table("t", [("n", "bigint"), ("doc", "xml")])
+    db.create_xpath_index("vix", "t", "doc", "/a/v", "double")
+    for i in range(3):
+        db.insert("t", (i, f"<a><v>{i}</v></a>"))
+    db.xpath("t", "doc", "/a/v")
+    return db
+
+
+class TestBufferPoolView:
+    def test_occupancy_and_hit_ratio(self):
+        db = seeded_db()
+        # Snapshot assembly itself touches the pool (storage views read
+        # pages), so compare against the counters at snapshot start.
+        hits_before = db.stats.get("buffer.hits")
+        view = Monitor(db).snapshot().buffer_pool
+        assert view.capacity == db.config.buffer_pool_pages
+        assert 0 < view.resident <= view.capacity
+        assert view.resident == db.pool.resident_count()
+        assert view.pinned == 0          # quiesced engine: nothing pinned
+        assert view.dirty == db.pool.dirty_count()
+        assert view.hits == hits_before
+        assert 0.0 < view.hit_ratio <= 1.0
+        assert view.to_dict()["capacity"] == view.capacity
+
+    def test_idle_pool_ratio_is_zero(self):
+        view = Monitor(Database()).snapshot().buffer_pool
+        assert view.hit_ratio == 0.0
+
+
+class TestLockTableView:
+    def test_grants_waiters_and_dot(self):
+        db = Database()
+        holder = db.txns.begin()
+        holder.lock(("doc", "t", 1), LockMode.X)
+        waiter = db.txns.begin()
+        assert not waiter.try_lock(("doc", "t", 1), LockMode.S)
+        view = Monitor(db).snapshot().lock_table
+        assert view.grants == {
+            str(("doc", "t", 1)): {holder.txn_id: "X"}}
+        assert view.granted_count == 1
+        assert view.waiters == {waiter.txn_id: (holder.txn_id,)}
+        dot = view.wait_for_dot()
+        assert dot.startswith("digraph waits_for {")
+        assert f'"txn{waiter.txn_id}" -> "txn{holder.txn_id}";' in dot
+        holder.commit()
+        waiter.abort()
+
+    def test_snapshot_is_a_copy(self):
+        db = Database()
+        txn = db.txns.begin()
+        txn.lock(("r",), LockMode.S)
+        view = Monitor(db).snapshot().lock_table
+        txn.commit()
+        # The released grant is still visible in the earlier snapshot ...
+        assert view.granted_count == 1
+        # ... and gone from a fresh one.
+        assert Monitor(db).snapshot().lock_table.granted_count == 0
+
+
+class TestWalView:
+    def test_lsn_and_checkpoint_lag(self):
+        db = seeded_db()
+        before = Monitor(db).snapshot().wal
+        assert before.next_lsn == db.log.next_lsn
+        assert before.bytes_written > 0
+        assert before.bytes_since_checkpoint == before.bytes_written
+        assert before.last_checkpoint_lsn is None
+        db.checkpoint()
+        after = Monitor(db).snapshot().wal
+        assert after.bytes_since_checkpoint == 0
+        assert after.last_checkpoint_lsn is not None
+        assert after.checkpoints == 1
+
+
+class TestTransactionTable:
+    def test_active_transactions_with_lock_counts(self):
+        db = Database()
+        txn = db.txns.begin()
+        txn.lock(("a",), LockMode.S)
+        txn.lock(("b",), LockMode.X)
+        rows = Monitor(db).snapshot().transactions
+        assert len(rows) == 1
+        assert rows[0].txn_id == txn.txn_id
+        assert rows[0].state == "active"
+        assert rows[0].isolation == "cs"
+        assert rows[0].locks_held == 2
+        txn.commit()
+        assert Monitor(db).snapshot().transactions == ()
+
+
+class TestStorageViews:
+    def test_per_space_and_per_index_counts(self):
+        db = seeded_db()
+        db.tables["t"].create_column_index("n")
+        snap = Monitor(db).snapshot()
+        assert snap.tables["t"]["space"]["records"] == 3
+        assert snap.tables["t"]["space"]["pages"] >= 1
+        assert snap.tables["t"]["column_indexes"]["n"]["entries"] == 3
+        assert snap.xml_stores["t.doc"]["record_count"] == 3
+        assert snap.xml_stores["t.doc"]["nodeid_index_entries"] > 0
+        assert snap.docid_indexes["t"]["entries"] == 3
+        assert snap.value_indexes["vix"]["entries"] == 3
+        assert snap.value_indexes["vix"]["height"] >= 1
+
+    def test_accounting_and_slow_query_summaries(self):
+        db = Database(EngineConfig(slow_query_events=0))
+        db.txns.begin().commit()
+        snap = Monitor(db).snapshot()
+        assert snap.accounting["emitted"] == 1
+        assert snap.accounting["buffered"] == 1
+        assert snap.accounting["records"][0]["outcome"] == "committed"
+        assert snap.slow_queries == {"captured": 0, "buffered": 0}
+
+
+class TestRendering:
+    def test_to_dict_and_format(self):
+        import json
+
+        db = seeded_db()
+        txn = db.txns.begin()
+        txn.lock(("doc", "t", 1), LockMode.S)
+        snap = Monitor(db).snapshot()
+        data = snap.to_dict()
+        json.dumps(data)  # must be JSON-safe
+        assert set(data) >= {"buffer_pool", "lock_table", "wal",
+                             "transactions", "tables", "xml_stores"}
+        text = snap.format()
+        for heading in ("BUFFER POOL", "LOCK TABLE", "LOG",
+                        "TRANSACTIONS", "STORAGE", "ACCOUNTING"):
+            assert heading in text
+        assert f"txn{txn.txn_id}" in text
+        txn.commit()
