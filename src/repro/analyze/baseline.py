@@ -97,7 +97,11 @@ def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
         "",
     ]
     count = 0
-    for finding in sorted(set(findings), key=lambda f: f.fingerprint):
+    seen: set[str] = set()
+    for finding in sorted(findings, key=lambda f: f.fingerprint):
+        if finding.fingerprint in seen:
+            continue  # fingerprints are the identity; lines are not
+        seen.add(finding.fingerprint)
         fingerprint_rest = finding.fingerprint[len(finding.code) + 1:]
         lines.append(f"{finding.code}  {fingerprint_rest}"
                      f"  # TODO: document why this is intentional")

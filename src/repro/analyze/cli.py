@@ -15,11 +15,13 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analyze.baseline import Baseline, BaselineError, write_baseline
+from repro.analyze.excsafety import ExceptionSafetyChecker
 from repro.analyze.framework import Checker, run_checkers
 from repro.analyze.lockorder import LockOrderChecker
 from repro.analyze.pins import PinLeakChecker
 from repro.analyze.rawdisk import RawDiskChecker
 from repro.analyze.statshygiene import StatsHygieneChecker
+from repro.analyze.txnscope import TxnScopeChecker
 from repro.analyze.waldiscipline import WalDisciplineChecker
 
 #: default baseline filename looked up next to the current directory.
@@ -34,6 +36,8 @@ def all_checkers() -> list[Checker]:
         LockOrderChecker(),
         WalDisciplineChecker(),
         StatsHygieneChecker(),
+        ExceptionSafetyChecker(),
+        TxnScopeChecker(),
     ]
 
 
@@ -55,8 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="comma-separated checker names or finding "
                              "codes to run (e.g. pin-leak,LOCK001)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the witnessing call path under every "
+                             "interprocedural finding")
     parser.add_argument("--list-checkers", action="store_true",
-                        help="list shipped checkers and exit")
+                        help="list shipped checkers (and each finding code "
+                             "they emit) and exit")
     return parser
 
 
@@ -86,8 +94,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     checkers = all_checkers()
     if args.list_checkers:
         for checker in checkers:
-            print(f"{checker.name:14s} {'/'.join(checker.codes):16s} "
+            print(f"{checker.name:18s} {'/'.join(checker.codes):16s} "
                   f"{checker.description}")
+            for code in checker.codes:
+                about = checker.code_descriptions.get(code, "")
+                if about:
+                    print(f"  {code:16s} {about}")
         return 0
 
     paths = [Path(p) for p in args.paths]
@@ -141,6 +153,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"parse error: {error}", file=sys.stderr)
         for finding in new:
             print(finding.render())
+            if args.explain and finding.call_path:
+                print(finding.render_call_path())
         if suppressed:
             print(f"{len(suppressed)} finding(s) suppressed by baseline "
                   f"{baseline_path}")

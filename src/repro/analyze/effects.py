@@ -1,0 +1,352 @@
+"""Fixpoint resource-effect summaries over the whole-program call graph.
+
+For every function the engine computes the set of *resource effects* it may
+transitively perform — the protocol-relevant actions the substrate cares
+about:
+
+* ``pins_page`` — may pin a buffer frame (``pool.fetch``/``pool.new_page``);
+* ``unpins_page`` — may unpin one;
+* ``returns_pin`` — hands a *still-pinned* frame to its caller (pins without
+  unpinning and returns the result, or forwards another ``returns_pin``
+  callee's result) — the effect that makes pin checking interprocedural:
+  a call to such a function IS a pin at the call site;
+* ``acquires_lock:<class>`` — may acquire a lock of a statically classified
+  class (``row``, ``doc``, ``node``...); ``acquires_lock:?`` when the
+  resource expression is not classifiable;
+* ``writes_wal`` — may append to / checkpoint the write-ahead log;
+* ``flushes_page`` — may force page images to the device;
+* ``may_raise`` — contains a ``raise`` statement or calls something that
+  does.  Only *proven* raisers count: an unresolved call contributes
+  nothing, so every EXC witness path ends at a real ``raise``.
+
+The lattice is the powerset of effect tokens ordered by inclusion; transfer
+is union over callees, so the fixpoint exists and the worklist terminates
+(summaries only grow, the token universe is finite).
+
+Every transitive effect carries a *witness*: either the primitive site
+itself or the call site it was inherited through.  :meth:`EffectAnalysis.
+witness_path` rebuilds the full call chain for ``--explain`` — the chain is
+finite because a witness is recorded only the first time an effect enters a
+summary, so following it strictly descends toward a primitive site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analyze.framework import call_name, receiver_text
+
+PINS = "pins_page"
+UNPINS = "unpins_page"
+RETURNS_PIN = "returns_pin"
+WRITES_WAL = "writes_wal"
+FLUSHES = "flushes_page"
+MAY_RAISE = "may_raise"
+ACQUIRES_PREFIX = "acquires_lock:"
+
+_PIN_METHODS = {"fetch", "new_page"}
+_ACQUIRE_METHODS = {"try_acquire": 1, "lock": 0, "try_lock": 0}
+_WAL_METHODS = {"append", "checkpoint", "log"}
+_FLUSH_METHODS = {"flush_page", "flush_all"}
+
+
+def acquires(lock_class: str) -> str:
+    """Effect token for acquiring a lock of ``lock_class``."""
+    return f"{ACQUIRES_PREFIX}{lock_class}"
+
+
+def lock_class_of(effect: str) -> str | None:
+    """Lock class of an ``acquires_lock:*`` token (None for other effects)."""
+    if effect.startswith(ACQUIRES_PREFIX):
+        return effect[len(ACQUIRES_PREFIX):]
+    return None
+
+
+def is_pool_receiver(call: ast.Call) -> bool:
+    """Heuristic shared with the pin checker: pool-ish attribute receiver."""
+    receiver = receiver_text(call).lower()
+    if not receiver:
+        return False
+    last = receiver.rsplit(".", 1)[-1]
+    return last == "pool" or last.endswith("pool")
+
+
+def is_log_receiver(call: ast.Call) -> bool:
+    """Log-ish attribute receiver (``self.log``, ``wal``, ``txn_log``...)."""
+    receiver = receiver_text(call).lower()
+    if not receiver:
+        return False
+    last = receiver.rsplit(".", 1)[-1]
+    return last in ("log", "wal") or last.endswith("_log") or \
+        last.endswith("_wal")
+
+
+def classify_resource(node: ast.expr | None) -> str | None:
+    """Static lock class of a resource expression, if derivable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Tuple) and node.elts:
+        first = node.elts[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name.endswith("_resource") and len(name) > len("_resource"):
+            return name[:-len("_resource")]
+    return None
+
+
+def lock_resource_arg(call: ast.Call) -> ast.expr | None:
+    """Resource expression of a lock-acquisition call, if present."""
+    index = _ACQUIRE_METHODS.get(call_name(call))
+    if index is None:
+        return None
+    if len(call.args) > index:
+        return call.args[index]
+    for keyword in call.keywords:
+        if keyword.arg == "resource":
+            return keyword.value
+    return None
+
+
+class Witness:
+    """How one effect entered one function's summary."""
+
+    def __init__(self, path: str, line: int, text: str,
+                 via: CallSite | None = None) -> None:
+        self.path = path
+        self.line = line
+        self.text = text  # primitive description, or the forwarding call
+        self.via = via    # None => primitive site in this very function
+
+
+class EffectAnalysis:
+    """Per-function effect summaries at fixpoint, with witnesses."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        #: fid -> effect token -> first witness
+        self._summaries: dict[str, dict[str, Witness]] = {}
+        self._compute()
+
+    # -- public API --------------------------------------------------------
+
+    def summary(self, fid: str) -> frozenset[str]:
+        """All effect tokens of ``fid`` (empty for unknown functions)."""
+        return frozenset(self._summaries.get(fid, ()))
+
+    def has(self, fid: str, effect: str) -> bool:
+        return effect in self._summaries.get(fid, ())
+
+    def lock_classes(self, fid: str) -> set[str]:
+        """Classified lock classes ``fid`` may transitively acquire."""
+        classes: set[str] = set()
+        for effect in self._summaries.get(fid, ()):
+            lock_class = lock_class_of(effect)
+            if lock_class is not None and lock_class != "?":
+                classes.add(lock_class)
+        return classes
+
+    def all_lock_classes(self) -> set[str]:
+        """Every classified lock class any analyzed function may acquire."""
+        classes: set[str] = set()
+        for fid in self._summaries:
+            classes |= self.lock_classes(fid)
+        return classes
+
+    def witness_path(self, fid: str, effect: str) -> list[tuple[str, int, str]]:
+        """The call chain proving ``fid`` has ``effect``.
+
+        Returns ``(path, line, description)`` triples from the function down
+        to the primitive site.  Empty when the effect is absent.
+        """
+        steps: list[tuple[str, int, str]] = []
+        current = fid
+        guard = 0
+        while True:
+            witness = self._summaries.get(current, {}).get(effect)
+            if witness is None:
+                break
+            info = self.graph.lookup(current)
+            where = info.qualname if info is not None else current
+            if witness.via is None:
+                steps.append((witness.path, witness.line,
+                              f"{where}: {witness.text}"))
+                break
+            steps.append((witness.path, witness.line,
+                          f"{where} calls {witness.via.callee.qualname}() "
+                          f"[{witness.text}]"))
+            current = witness.via.callee.fid
+            guard += 1
+            if guard > len(self._summaries) + 1:  # pragma: no cover - guard
+                break
+        return steps
+
+    def render_path(self, fid: str, effect: str) -> list[str]:
+        """Witness path as display lines for ``--explain``."""
+        return [f"{path}:{line}: {text}"
+                for path, line, text in self.witness_path(fid, effect)]
+
+    # -- computation -------------------------------------------------------
+
+    def _compute(self) -> None:
+        for info in self.graph.iter_functions():
+            self._summaries[info.fid] = self._direct_effects(info)
+        # Worklist fixpoint: every function is visited at least once; a
+        # function whose summary grew re-enqueues its callers.  Summaries
+        # only grow and the token universe is finite, so this terminates.
+        pending = list(self._summaries)
+        queued = set(pending)
+        while pending:
+            fid = pending.pop()
+            queued.discard(fid)
+            if self._propagate_into(fid):
+                for site in self.graph.callers_of.get(fid, ()):
+                    caller = site.caller.fid
+                    if caller not in queued:
+                        queued.add(caller)
+                        pending.append(caller)
+
+    def _propagate_into(self, fid: str) -> bool:
+        """Fold callee summaries into ``fid``; True if anything was added."""
+        summary = self._summaries.setdefault(fid, {})
+        changed = False
+        for site in self.graph.callees_of.get(fid, ()):
+            callee_summary = self._summaries.get(site.callee.fid, {})
+            for effect in callee_summary:
+                if effect == RETURNS_PIN:
+                    continue  # flow-dependent: handled below
+                if effect not in summary:
+                    summary[effect] = Witness(
+                        site.caller.path, site.line, site.text, via=site)
+                    changed = True
+            if RETURNS_PIN in callee_summary and RETURNS_PIN not in summary \
+                    and self._forwards_pin(site):
+                summary[RETURNS_PIN] = Witness(
+                    site.caller.path, site.line, site.text, via=site)
+                changed = True
+        return changed
+
+    def _forwards_pin(self, site: CallSite) -> bool:
+        """Does the caller hand ``site``'s pinned result to *its* caller?
+
+        True when the call's result is returned (directly or through a
+        name binding) and the caller never unpins — the ``new_page``
+        handoff idiom, one level up.
+        """
+        function = site.caller.node
+        if self._contains_unpin(function):
+            return False
+        stmt = self._statement_of(site.caller, site.call)
+        if stmt is None:  # pragma: no cover - calls always sit in statements
+            return False
+        if isinstance(stmt, ast.Return):
+            return True
+        names = _assigned_names(stmt)
+        if not names:
+            return False
+        for node in ast.walk(function):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for ref in ast.walk(node.value):
+                    if isinstance(ref, ast.Name) and ref.id in names:
+                        return True
+        return False
+
+    def _direct_effects(self, info: FunctionInfo) -> dict[str, Witness]:
+        effects: dict[str, Witness] = {}
+        path = info.path
+        pin_sites: list[ast.Call] = []
+        has_unpin = False
+        for node in self._own_nodes(info):
+            if isinstance(node, ast.Raise):
+                effects.setdefault(MAY_RAISE, Witness(
+                    path, node.lineno, "raise"))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _PIN_METHODS and is_pool_receiver(node):
+                effects.setdefault(PINS, Witness(
+                    path, node.lineno,
+                    f"{receiver_text(node)}.{name}() pins"))
+                pin_sites.append(node)
+            elif name == "unpin":
+                has_unpin = True
+                effects.setdefault(UNPINS, Witness(
+                    path, node.lineno, f"{receiver_text(node)}.unpin()"))
+            elif name in _ACQUIRE_METHODS:
+                lock_class = classify_resource(lock_resource_arg(node)) or "?"
+                effects.setdefault(acquires(lock_class), Witness(
+                    path, node.lineno,
+                    f"{name}() acquires {lock_class!r} lock"))
+            elif name in _FLUSH_METHODS:
+                effects.setdefault(FLUSHES, Witness(
+                    path, node.lineno, f"{name}() flushes"))
+            if name in _WAL_METHODS and is_log_receiver(node):
+                effects.setdefault(WRITES_WAL, Witness(
+                    path, node.lineno,
+                    f"{receiver_text(node)}.{name}() writes WAL"))
+        if pin_sites and not has_unpin:
+            for call in pin_sites:
+                if self._pin_handed_off(info, call):
+                    effects.setdefault(RETURNS_PIN, Witness(
+                        path, call.lineno,
+                        f"{receiver_text(call)}.{call_name(call)}() pin "
+                        f"handed to caller"))
+                    break
+        return effects
+
+    @staticmethod
+    def _own_nodes(info: FunctionInfo) -> Iterator[ast.AST]:
+        """Nodes of ``info``'s body, excluding nested function bodies."""
+        for node in ast.walk(info.node):
+            if info.module.enclosing_function(node) is info.node:
+                yield node
+
+    @staticmethod
+    def _contains_unpin(function: ast.AST) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and call_name(node) == "unpin":
+                return True
+        return False
+
+    @staticmethod
+    def _statement_of(info: FunctionInfo, node: ast.AST) -> ast.stmt | None:
+        current: ast.AST | None = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = info.module.parent(current)
+        return current
+
+    def _pin_handed_off(self, info: FunctionInfo, call: ast.Call) -> bool:
+        """The pinned result escapes through a return (caller owns it)."""
+        stmt = self._statement_of(info, call)
+        if stmt is None:  # pragma: no cover - calls always sit in statements
+            return False
+        if isinstance(stmt, ast.Return):
+            return True
+        names = _assigned_names(stmt)
+        if not names:
+            return False
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for ref in ast.walk(node.value):
+                    if isinstance(ref, ast.Name) and ref.id in names:
+                        return True
+        return False
+
+
+def _assigned_names(stmt: ast.stmt) -> set[str]:
+    """Names bound by an assignment statement (tuple targets included)."""
+    names: set[str] = set()
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names

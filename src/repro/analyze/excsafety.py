@@ -1,0 +1,224 @@
+"""Exception-safety checker: no proven raiser between acquire and release.
+
+The intraprocedural checkers flag the *shape* of an unsafe window (PIN002:
+unpin not in a finally).  This checker proves the window is *live*: between
+acquiring a resource and releasing it, the function calls something whose
+effect summary (:mod:`repro.analyze.effects`) says ``may_raise`` — an
+exception there unwinds past the release and leaks the resource.  Because
+``may_raise`` is evidence-based (only functions containing a real ``raise``,
+transitively, carry it), every finding's ``--explain`` path ends at the
+``raise`` statement that proves the hazard — no intraprocedural analysis
+can produce that witness.
+
+* **EXC001** (error) — a buffer-pool pin (direct ``fetch``/``new_page``, or
+  a call to a ``returns_pin`` helper) followed by a call to a proven raiser
+  before the ``unpin``, with no protecting ``finally``.  The frame leaks on
+  the error path; a quiesce point then fails on it.
+* **EXC002** (warning) — a lock acquisition followed by a proven raiser
+  before the function's own ``release``/``release_all``/``unlock``, with no
+  protecting ``finally``.  Warning severity: transaction-end release is the
+  engine's backstop, but the early-release intent of this code is defeated
+  on the error path (the lock is held for the rest of the transaction).
+
+Functions that acquire and never locally release are out of scope here —
+PIN001 owns structural pin leaks, and lock lifetimes without a local
+release belong to the transaction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze import effects as fx
+from repro.analyze.callgraph import CallGraph, FunctionInfo
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import Checker, Program, call_name, receiver_text
+
+_PIN_METHODS = {"fetch", "new_page"}
+_ACQUIRE_METHODS = {"try_acquire", "lock", "try_lock"}
+_PIN_RELEASES = {"unpin"}
+_LOCK_RELEASES = {"release", "release_all", "unlock"}
+
+_Pos = tuple[int, int]
+
+
+class _Acquire:
+    """One resource acquisition with its release vocabulary."""
+
+    def __init__(self, code: str, call: ast.Call, text: str,
+                 releases: frozenset[str], severity: Severity,
+                 noun: str, chain: tuple[str, ...] = ()) -> None:
+        self.code = code
+        self.call = call
+        self.pos: _Pos = (call.lineno, call.col_offset)
+        self.text = text
+        self.releases = releases
+        self.severity = severity
+        self.noun = noun       # "pin" / "lock", for messages
+        self.chain = chain     # witness of the acquisition itself, if any
+
+
+class ExceptionSafetyChecker(Checker):
+    """EXC001/EXC002: proven raiser inside an acquire→release window."""
+
+    name = "exception-safety"
+    codes = ("EXC001", "EXC002")
+    description = ("no call to a proven raiser between resource acquisition "
+                   "and release outside try/finally")
+    code_descriptions = {
+        "EXC001": "proven raiser between pin and unpin outside a finally "
+                  "(frame leaks on the error path)",
+        "EXC002": "proven raiser between lock acquisition and local release "
+                  "outside a finally (early release defeated)",
+    }
+
+    def __init__(self) -> None:
+        self._program: Program | None = None
+
+    def begin(self, program: Program) -> None:
+        self._program = program
+
+    def finish(self) -> Iterator[Finding]:
+        if self._program is None:  # pragma: no cover - driver always begins
+            return
+        graph = self._program.callgraph()
+        summaries = self._program.effects()
+        for info in graph.iter_functions():
+            yield from self._check_function(info, graph, summaries)
+
+    # -- per-function ------------------------------------------------------
+
+    def _check_function(self, info: FunctionInfo, graph: CallGraph,
+                        summaries: fx.EffectAnalysis) -> Iterator[Finding]:
+        acquires = self._acquires_of(info, graph, summaries)
+        if not acquires:
+            return
+        raisers = self._raiser_sites(info, graph, summaries)
+        if not raisers:
+            return
+        for acq in acquires:
+            if self._protected_by_finally(info, acq.call, acq.releases):
+                continue
+            release = self._first_release_after(info, acq)
+            if release is None:
+                continue  # structural leak: PIN001 / txn-end release owns it
+            for pos, site_text, callee_fid, line in raisers:
+                if not acq.pos < pos < release:
+                    continue
+                chain = tuple(
+                    [f"{info.path}:{acq.pos[0]}: {info.qualname} "
+                     f"{acq.noun}s via {acq.text}()"]
+                    + list(acq.chain)
+                    + [f"{info.path}:{line}: {info.qualname} calls "
+                       f"{site_text}() before releasing"]
+                    + summaries.render_path(callee_fid, fx.MAY_RAISE))
+                yield info.module.finding(
+                    acq.code, self.name, acq.call,
+                    f"{acq.text}() {acq.noun} is not exception-safe: "
+                    f"{site_text}() is a proven raiser called before the "
+                    f"{acq.noun} is released, and the release is not in a "
+                    f"finally — an exception there leaks the {acq.noun}",
+                    severity=acq.severity,
+                    detail=f"{acq.text}@{site_text}",
+                    call_path=chain)
+                break  # one finding per acquisition
+
+    def _acquires_of(self, info: FunctionInfo, graph: CallGraph,
+                     summaries: fx.EffectAnalysis) -> list[_Acquire]:
+        acquires: list[_Acquire] = []
+        for call in self._own_calls(info):
+            name = call_name(call)
+            text = f"{receiver_text(call)}.{name}" if receiver_text(call) \
+                else name
+            if name in _PIN_METHODS and fx.is_pool_receiver(call):
+                acquires.append(_Acquire(
+                    "EXC001", call, text, frozenset(_PIN_RELEASES),
+                    Severity.ERROR, "pin"))
+            elif name in _ACQUIRE_METHODS:
+                acquires.append(_Acquire(
+                    "EXC002", call, text, frozenset(_LOCK_RELEASES),
+                    Severity.WARNING, "lock"))
+        seen = {id(a.call) for a in acquires}
+        for site in graph.callees_of.get(info.fid, []):
+            if id(site.call) in seen:
+                continue
+            if summaries.has(site.callee.fid, fx.RETURNS_PIN):
+                seen.add(id(site.call))
+                acquires.append(_Acquire(
+                    "EXC001", site.call, site.text,
+                    frozenset(_PIN_RELEASES), Severity.ERROR, "pin",
+                    chain=tuple(summaries.render_path(
+                        site.callee.fid, fx.RETURNS_PIN))))
+        acquires.sort(key=lambda a: a.pos)
+        return acquires
+
+    def _raiser_sites(self, info: FunctionInfo, graph: CallGraph,
+                      summaries: fx.EffectAnalysis
+                      ) -> list[tuple[_Pos, str, str, int]]:
+        """Resolved calls of ``info`` whose callee may provably raise."""
+        sites: list[tuple[_Pos, str, str, int]] = []
+        seen: set[int] = set()
+        for site in graph.callees_of.get(info.fid, []):
+            if id(site.call) in seen:
+                continue
+            if not summaries.has(site.callee.fid, fx.MAY_RAISE):
+                continue
+            seen.add(id(site.call))
+            sites.append(((site.line, site.call.col_offset), site.text,
+                          site.callee.fid, site.line))
+        return sites
+
+    def _first_release_after(self, info: FunctionInfo,
+                             acq: _Acquire) -> _Pos | None:
+        best: _Pos | None = None
+        for call in self._own_calls(info):
+            if call_name(call) not in acq.releases:
+                continue
+            pos = (call.lineno, call.col_offset)
+            if pos > acq.pos and (best is None or pos < best):
+                best = pos
+        return best
+
+    @staticmethod
+    def _own_calls(info: FunctionInfo) -> Iterator[ast.Call]:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) and \
+                    info.module.enclosing_function(node) is info.node:
+                yield node
+
+    @staticmethod
+    def _protected_by_finally(info: FunctionInfo, call: ast.Call,
+                              releases: frozenset[str]) -> bool:
+        """Acquire inside (or immediately before) a try whose finally
+        releases — the structurally safe idioms the pin checker accepts."""
+        module = info.module
+        stmt: ast.AST | None = call
+        while stmt is not None and not isinstance(stmt, ast.stmt):
+            stmt = module.parent(stmt)
+        if stmt is None:  # pragma: no cover - calls always sit in statements
+            return False
+        def finally_releases(try_node: ast.Try) -> bool:
+            for node in try_node.finalbody:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call) and \
+                            call_name(sub) in releases:
+                        return True
+            return False
+        for ancestor in module.ancestors(stmt):
+            if isinstance(ancestor, ast.Try) and ancestor.finalbody and \
+                    finally_releases(ancestor):
+                return True
+        parent = module.parent(stmt)
+        if parent is None:
+            return False
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(parent, field_name, None)
+            if isinstance(block, list) and stmt in block:
+                index = block.index(stmt)
+                if index + 1 < len(block):
+                    nxt = block[index + 1]
+                    if isinstance(nxt, ast.Try) and nxt.finalbody and \
+                            finally_releases(nxt):
+                        return True
+        return False

@@ -42,6 +42,10 @@ class Finding:
     scope: str = ""      # dotted qualname of the enclosing class/function
     detail: str = ""     # checker-specific stable token
     related: tuple[tuple[str, int], ...] = field(default_factory=tuple)
+    #: interprocedural witness: rendered ``path:line: step`` lines from the
+    #: reported site down to the primitive call that proves the finding
+    #: (empty for intraprocedural findings); shown by ``--explain``.
+    call_path: tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def fingerprint(self) -> str:
@@ -53,7 +57,11 @@ class Finding:
         return (f"{self.path}:{self.line}:{self.column}: "
                 f"{self.code} [{self.severity.value}] {self.message}")
 
-    def as_dict(self) -> dict:
+    def render_call_path(self, indent: str = "    ") -> str:
+        """Multi-line witnessing call path (``--explain``)."""
+        return "\n".join(f"{indent}{step}" for step in self.call_path)
+
+    def as_dict(self) -> dict[str, object]:
         """JSON-friendly form (``--format json``)."""
         return {
             "code": self.code,
@@ -66,4 +74,5 @@ class Finding:
             "scope": self.scope,
             "fingerprint": self.fingerprint,
             "related": [list(pair) for pair in self.related],
+            "call_path": list(self.call_path),
         }

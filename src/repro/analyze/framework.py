@@ -13,12 +13,17 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.analyze.findings import Finding
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.analyze.callgraph import CallGraph
+    from repro.analyze.effects import EffectAnalysis
+
 #: Directory names never descended into.
-_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules",
+              "build", "dist", ".ruff_cache", ".mypy_cache"}
 
 
 class SourceModule:
@@ -86,7 +91,7 @@ class SourceModule:
                 yield node
 
     def finding(self, code: str, checker: str, node: ast.AST, message: str,
-                **kwargs) -> Finding:
+                **kwargs: Any) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
         kwargs.setdefault("scope", self.scope_of(node))
         return Finding(code=code, checker=checker, path=self.relpath,
@@ -123,6 +128,48 @@ def receiver_text(call: ast.Call) -> str:
     return ".".join(reversed(parts))
 
 
+class Program:
+    """Every module of one analysis run, plus lazily built whole-program
+    structures (call graph, effect summaries).
+
+    The driver hands one :class:`Program` to every checker through
+    :meth:`Checker.begin` and appends each successfully parsed module to
+    it, so cross-module checkers share a single call-graph/effect
+    computation instead of each building their own.  The expensive
+    structures are built on first request: runs that select only
+    intraprocedural checkers never pay for them.
+    """
+
+    def __init__(self) -> None:
+        self.modules: list[SourceModule] = []
+        self._callgraph: CallGraph | None = None
+        self._effects: EffectAnalysis | None = None
+
+    def add(self, module: SourceModule) -> None:
+        self.modules.append(module)
+        # A new module invalidates anything built from the old set.
+        self._callgraph = None
+        self._effects = None
+
+    def callgraph(self) -> CallGraph:
+        """The whole-program call graph (built on first use)."""
+        from repro.analyze.callgraph import CallGraph
+        if self._callgraph is None:
+            graph = CallGraph()
+            for module in self.modules:
+                graph.add_module(module)
+            graph.resolve()
+            self._callgraph = graph
+        return self._callgraph
+
+    def effects(self) -> EffectAnalysis:
+        """Fixpoint resource-effect summaries (built on first use)."""
+        from repro.analyze.effects import EffectAnalysis
+        if self._effects is None:
+            self._effects = EffectAnalysis(self.callgraph())
+        return self._effects
+
+
 class Checker:
     """Base class: one engine invariant, one or more finding codes."""
 
@@ -132,6 +179,16 @@ class Checker:
     codes: tuple[str, ...] = ()
     #: one-line description of the encoded invariant
     description: str = ""
+    #: per-code one-line descriptions (``--list-checkers``)
+    code_descriptions: dict[str, str] = {}
+
+    def begin(self, program: Program) -> None:
+        """Receive the shared :class:`Program` before any module is visited.
+
+        Interprocedural checkers keep the reference and consult
+        ``program.callgraph()`` / ``program.effects()`` in :meth:`finish`,
+        once every module has been parsed and added.
+        """
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         """Per-file pass; yield findings local to ``module``."""
@@ -163,7 +220,8 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 def run_checkers(checkers: Iterable[Checker], paths: Iterable[Path],
                  root: Path | None = None,
-                 on_error=None) -> list[Finding]:
+                 on_error: Callable[[Path, Exception], None] | None = None
+                 ) -> list[Finding]:
     """Parse every file under ``paths`` and run ``checkers`` over them.
 
     Files that fail to parse are reported through ``on_error`` (a callable
@@ -173,6 +231,9 @@ def run_checkers(checkers: Iterable[Checker], paths: Iterable[Path],
     checkers = list(checkers)
     root = root if root is not None else Path.cwd()
     findings: list[Finding] = []
+    program = Program()
+    for checker in checkers:
+        checker.begin(program)
     for path in iter_python_files(paths):
         try:
             module = SourceModule(path, root)
@@ -180,6 +241,7 @@ def run_checkers(checkers: Iterable[Checker], paths: Iterable[Path],
             if on_error is not None:
                 on_error(path, exc)
             continue
+        program.add(module)
         for checker in checkers:
             findings.extend(checker.check_module(module))
     for checker in checkers:

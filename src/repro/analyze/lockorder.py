@@ -7,18 +7,30 @@ lock resources are class-tagged tuples — ``("row", table, rid)``,
 ``*_resource`` helpers in ``repro.cc.document``, so the class of most
 acquisition sites is statically visible.
 
-The checker extracts every acquisition site (``try_acquire`` /
-``try_lock`` / ``Transaction.lock``), classifies its resource, and adds an
-edge *a → b* whenever one function acquires class ``a`` before class ``b``
-(under two-phase locking the first lock is still held at the second site).
-After all modules are visited:
+The checker collects every function's *acquisition events* in source order:
+
+* primitive sites (``try_acquire`` / ``try_lock`` / ``Transaction.lock``)
+  whose resource expression classifies statically;
+* calls to functions whose effect summary (:mod:`repro.analyze.effects`)
+  says they transitively acquire a classified lock class — the
+  interprocedural half: a helper that locks on your behalf orders your
+  lock classes just as a direct acquisition would.
+
+An edge *a → b* is added whenever one function acquires class ``a`` before
+class ``b`` (under two-phase locking the first lock is still held at the
+second site).  After all modules are visited:
 
 * **LOCK001** — a cycle in the class graph: two code paths acquire the same
   classes in opposite orders, a potential deadlock even though each path is
   locally correct.
-* **LOCK002** — a lock acquisition inside an ``except`` handler: acquiring
-  while unwinding inverts whatever order the happy path established and
-  runs while the transaction may already be aborting.
+* **LOCK002** — a lock acquisition inside an ``except`` handler — directly,
+  or through any callee that acquires (``--explain`` prints the chain):
+  acquiring while unwinding inverts whatever order the happy path
+  established and runs while the transaction may already be aborting.
+
+Unclassifiable acquisitions (``acquires_lock:?``) contribute no edges — the
+order graph only reasons about proven classes — but they *do* count for
+LOCK002, where any acquisition in a handler is the hazard.
 """
 
 from __future__ import annotations
@@ -27,8 +39,10 @@ import ast
 from collections import defaultdict
 from typing import Iterator
 
+from repro.analyze import effects as fx
+from repro.analyze.callgraph import CallGraph, CallSite, FunctionInfo
 from repro.analyze.findings import Finding
-from repro.analyze.framework import Checker, SourceModule, call_name
+from repro.analyze.framework import Checker, Program, SourceModule, call_name
 
 _ACQUIRE_METHODS = {"try_acquire": 1, "lock": 0, "try_lock": 0}
 
@@ -65,41 +79,49 @@ def _resource_arg(call: ast.Call) -> ast.expr | None:
     return None
 
 
+class _Event:
+    """One lock-class acquisition a function performs, in source order."""
+
+    def __init__(self, lock_class: str, call: ast.Call,
+                 call_path: tuple[str, ...] = ()) -> None:
+        self.lock_class = lock_class
+        self.call = call
+        self.line = call.lineno
+        self.col = call.col_offset
+        self.call_path = call_path  # empty for primitive sites
+
+
 class LockOrderChecker(Checker):
     """LOCK001/LOCK002: cross-file lock-class ordering and handler locks."""
 
     name = "lock-order"
     codes = ("LOCK001", "LOCK002")
-    description = ("static lock-acquisition graph must be acyclic; no lock "
-                   "acquisition inside except handlers")
+    description = ("static lock-acquisition graph (including acquisitions "
+                   "via callees) must be acyclic; no lock acquisition "
+                   "inside except handlers")
+    code_descriptions = {
+        "LOCK001": "two code paths acquire the same lock classes in "
+                   "opposite orders (cycle in the class graph)",
+        "LOCK002": "lock acquired inside an except handler, directly or "
+                   "through a callee",
+    }
 
     def __init__(self) -> None:
-        #: class -> class -> list of (path, line, scope) witnesses
-        self.edges: dict[str, dict[str, list[tuple[str, int, str]]]] = \
+        self._program: Program | None = None
+        #: class -> class -> list of (path, line, scope, call_path)
+        self.edges: dict[str, dict[str,
+                         list[tuple[str, int, str, tuple[str, ...]]]]] = \
             defaultdict(lambda: defaultdict(list))
 
+    def begin(self, program: Program) -> None:
+        self._program = program
+
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
-        for function in module.functions():
-            sites: list[tuple[str, ast.Call]] = []
-            for node in ast.walk(function):
-                if not isinstance(node, ast.Call):
-                    continue
-                if call_name(node) not in _ACQUIRE_METHODS:
-                    continue
-                if module.enclosing_function(node) is not function:
-                    continue  # nested function: analyzed on its own
-                yield from self._check_handler_lock(module, node)
-                lock_class = classify_resource(_resource_arg(node))
-                if lock_class is not None:
-                    sites.append((lock_class, node))
-            sites.sort(key=lambda item: (item[1].lineno, item[1].col_offset))
-            for i, (class_a, _call_a) in enumerate(sites):
-                for class_b, call_b in sites[i + 1:]:
-                    if class_a == class_b:
-                        continue
-                    self.edges[class_a][class_b].append(
-                        (module.relpath, call_b.lineno,
-                         module.scope_of(call_b)))
+        """Primitive LOCK002 only — edges are built in :meth:`finish`."""
+        for call in module.calls():
+            if call_name(call) not in _ACQUIRE_METHODS:
+                continue
+            yield from self._check_handler_lock(module, call)
 
     def _check_handler_lock(self, module: SourceModule,
                             call: ast.Call) -> Iterator[Finding]:
@@ -115,14 +137,115 @@ class LockOrderChecker(Checker):
             if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 return
 
+    # -- interprocedural pass ----------------------------------------------
+
     def finish(self) -> Iterator[Finding]:
+        if self._program is None:  # pragma: no cover - driver always begins
+            return
+        graph = self._program.callgraph()
+        summaries = self._program.effects()
+        for info in graph.iter_functions():
+            events = self._events_of(info, graph, summaries)
+            yield from self._handler_locks_via_callees(info, graph, summaries)
+            for i, first in enumerate(events):
+                for second in events[i + 1:]:
+                    if first.lock_class == second.lock_class:
+                        continue
+                    self.edges[first.lock_class][second.lock_class].append(
+                        (info.path, second.line,
+                         info.module.scope_of(second.call),
+                         second.call_path))
+        yield from self._report_cycles()
+
+    def _events_of(self, info: FunctionInfo, cg: CallGraph,
+                   summaries: fx.EffectAnalysis) -> list[_Event]:
+        """Acquisition events of ``info`` in source order, deduplicated."""
+        events: list[_Event] = []
+        seen: set[tuple[int, str]] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if info.module.enclosing_function(node) is not info.node:
+                continue  # nested function: analyzed on its own
+            if call_name(node) not in _ACQUIRE_METHODS:
+                continue
+            lock_class = classify_resource(_resource_arg(node))
+            if lock_class is not None and (id(node), lock_class) not in seen:
+                seen.add((id(node), lock_class))
+                events.append(_Event(lock_class, node))
+        for site in cg.callees_of.get(info.fid, []):
+            if call_name(site.call) in _ACQUIRE_METHODS:
+                continue  # primitive site: classified (or not) above
+            for lock_class in sorted(summaries.lock_classes(site.callee.fid)):
+                key = (id(site.call), lock_class)
+                if key in seen:
+                    continue
+                seen.add(key)
+                chain = tuple(
+                    [f"{info.path}:{site.line}: {info.qualname} calls "
+                     f"{site.text}()"]
+                    + summaries.render_path(site.callee.fid,
+                                            fx.acquires(lock_class)))
+                events.append(_Event(lock_class, site.call, chain))
+        events.sort(key=lambda e: (e.line, e.col))
+        return events
+
+    def _handler_locks_via_callees(self, info: FunctionInfo, cg: CallGraph,
+                                   summaries: fx.EffectAnalysis
+                                   ) -> Iterator[Finding]:
+        """Interprocedural LOCK002: a handler calls something that locks."""
+        reported: set[int] = set()
+        for site in cg.callees_of.get(info.fid, []):
+            if call_name(site.call) in _ACQUIRE_METHODS:
+                continue  # primitive: check_module owns it
+            if id(site.call) in reported:
+                continue
+            acquired = self._acquired_effects(summaries, site)
+            if not acquired:
+                continue
+            if not self._inside_handler(info, site.call):
+                continue
+            reported.add(id(site.call))
+            chain = tuple(
+                [f"{info.path}:{site.line}: {info.qualname} calls "
+                 f"{site.text}()"]
+                + summaries.render_path(site.callee.fid, acquired[0]))
+            classes = ", ".join(
+                sorted(fx.lock_class_of(e) or "?" for e in acquired))
+            yield info.module.finding(
+                "LOCK002", self.name, site.call,
+                f"{site.text}() acquires locks (class {classes}) and is "
+                f"called inside an except handler: acquiring while "
+                f"unwinding subverts the lock order and may run mid-abort",
+                detail=f"{site.text}->{site.callee.qualname}",
+                call_path=chain)
+
+    @staticmethod
+    def _acquired_effects(summaries: fx.EffectAnalysis,
+                          site: CallSite) -> list[str]:
+        return sorted(e for e in summaries.summary(site.callee.fid)
+                      if e.startswith(fx.ACQUIRES_PREFIX))
+
+    @staticmethod
+    def _inside_handler(info: FunctionInfo, call: ast.Call) -> bool:
+        for ancestor in info.module.ancestors(call):
+            if isinstance(ancestor, ast.ExceptHandler):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    def _report_cycles(self) -> Iterator[Finding]:
         graph = {a: set(bs) for a, bs in self.edges.items()}
         for cycle in _find_cycles(graph):
             witnesses: list[tuple[str, int]] = []
+            call_path: tuple[str, ...] = ()
             pairs = list(zip(cycle, cycle[1:] + cycle[:1], strict=True))
             for a, b in pairs:
-                path, line, _scope = self.edges[a][b][0]
+                path, line, _scope, chain = self.edges[a][b][0]
                 witnesses.append((path, line))
+                if chain and not call_path:
+                    call_path = chain  # first interprocedural edge witness
             order = " -> ".join(cycle + [cycle[0]])
             at = ", ".join(f"{p}:{line}" for p, line in witnesses)
             yield Finding(
@@ -131,7 +254,15 @@ class LockOrderChecker(Checker):
                 message=(f"lock-order cycle {order}: opposite acquisition "
                          f"orders (witnesses: {at}) can deadlock"),
                 detail="/".join(sorted(set(cycle))),
-                related=tuple(witnesses))
+                related=tuple(witnesses),
+                call_path=call_path)
+
+    def witnessed_classes(self) -> set[str]:
+        """Every lock class that appears in the static order graph."""
+        classes: set[str] = set(self.edges)
+        for targets in self.edges.values():
+            classes.update(targets)
+        return classes
 
 
 def _find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:

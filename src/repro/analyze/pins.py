@@ -18,16 +18,26 @@ Everything else is reported:
 * **PIN002** — a pin whose ``unpin`` is not in a ``finally``: leaks the
   frame whenever an intervening statement raises (the error-path leak class
   the runtime sanitizer catches one test too late).
+
+Both codes are *interprocedural*: a call to a function whose effect summary
+(:mod:`repro.analyze.effects`) says ``returns_pin`` — it hands a pinned
+frame to its caller — is a pin at the call site, subject to the same rules.
+``--explain`` prints the call chain down to the primitive ``fetch``/
+``new_page`` that proves it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
+from repro.analyze import effects as fx
 from repro.analyze.findings import Finding
-from repro.analyze.framework import (Checker, SourceModule, call_name,
-                                     receiver_text)
+from repro.analyze.framework import (Checker, Program, SourceModule,
+                                     call_name, receiver_text)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyze.callgraph import CallSite, FunctionInfo
 
 _PIN_METHODS = {"fetch", "new_page"}
 _POOLISH = ("pool",)
@@ -89,7 +99,20 @@ class PinLeakChecker(Checker):
     name = "pin-leak"
     codes = ("PIN001", "PIN002")
     description = ("BufferPool.fetch/new_page results must be unpinned on "
-                   "all paths (finally) or explicitly handed off")
+                   "all paths (finally) or explicitly handed off — "
+                   "including pins inherited from returns_pin callees")
+    code_descriptions = {
+        "PIN001": "pin (direct or via a returns_pin helper) never unpinned "
+                  "and never handed off",
+        "PIN002": "unpin exists but is not in a finally: the error path "
+                  "leaks the frame",
+    }
+
+    def __init__(self) -> None:
+        self._program: Program | None = None
+
+    def begin(self, program: Program) -> None:
+        self._program = program
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         for call in module.calls():
@@ -101,6 +124,64 @@ class PinLeakChecker(Checker):
             if function is None:
                 continue  # module-level experiment scripts own their pins
             yield from self._check_pin(module, call, function)
+
+    def finish(self) -> Iterator[Finding]:
+        """Interprocedural pass: calls to ``returns_pin`` callees are pins.
+
+        A helper that pins and returns the frame transfers the unpin
+        obligation to its caller; the caller is held to the same rules as a
+        direct pin site.  Primitive pool calls are excluded here — the
+        per-module pass already owns them.
+        """
+        if self._program is None:  # pragma: no cover - driver always begins
+            return
+        graph = self._program.callgraph()
+        summaries = self._program.effects()
+        for info in graph.iter_functions():
+            reported: set[int] = set()
+            for site in graph.callees_of.get(info.fid, ()):
+                if id(site.call) in reported:
+                    continue  # one finding per call even with 2+ candidates
+                if not summaries.has(site.callee.fid, fx.RETURNS_PIN):
+                    continue
+                if call_name(site.call) in _PIN_METHODS and \
+                        _is_pool_receiver(site.call):
+                    continue  # primitive pin: check_module owns it
+                reported.add(id(site.call))
+                yield from self._check_inherited_pin(info, site, summaries)
+
+    def _check_inherited_pin(self, info: FunctionInfo, site: CallSite,
+                             summaries: fx.EffectAnalysis
+                             ) -> Iterator[Finding]:
+        module = info.module
+        call = site.call
+        function = info.node
+        stmt = _statement_of(module, call)
+        if stmt is None:  # pragma: no cover - calls always sit in statements
+            return
+        if self._protected_by_finally(module, stmt):
+            return
+        detail = f"{site.text}->{site.callee.qualname}"
+        call_path = tuple(
+            [f"{info.path}:{call.lineno}: {info.qualname} calls "
+             f"{site.text}()"]
+            + summaries.render_path(site.callee.fid, fx.RETURNS_PIN))
+        if not _contains_unpin(function.body):
+            if self._handed_off(function, stmt):
+                return
+            yield module.finding(
+                "PIN001", self.name, call,
+                f"{site.text}() hands back a frame pinned by "
+                f"{site.callee.qualname}() but {function.name}() never "
+                f"unpins and never hands the pin off",
+                detail=detail, call_path=call_path)
+        else:
+            yield module.finding(
+                "PIN002", self.name, call,
+                f"{site.text}() hands back a pinned frame (via "
+                f"{site.callee.qualname}()) and the unpin is not in a "
+                f"finally: an error between the call and the unpin leaks "
+                f"the frame", detail=detail, call_path=call_path)
 
     def _check_pin(self, module: SourceModule, call: ast.Call,
                    function: ast.FunctionDef | ast.AsyncFunctionDef

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from collections import defaultdict
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import SanitizerError
 
@@ -45,12 +45,15 @@ _enabled: bool | None = None
 #: Strong references on purpose: a pool that leaked pins and then went out
 #: of scope must still be visible at the checkpoint.  The harness clears
 #: the set at every test boundary, so nothing accumulates.
-_pools: set = set()
+_pools: set[object] = set()
 
 #: per-transaction ordered list of distinct lock classes acquired.
 _lock_classes: dict[int, list[str]] = {}
 #: witnessed class graph: a -> set of b acquired while a was held.
 _witnessed_edges: dict[str, set[str]] = defaultdict(set)
+#: every lock class witnessed since the last reset (survives txn end, for
+#: cross-checking against the static effect summaries).
+_witnessed_classes: set[str] = set()
 
 
 def enabled() -> bool:
@@ -103,7 +106,7 @@ def clear_tracked_pools() -> None:
     _pools.clear()
 
 
-def check_pool_quiesced(pool, stats: "StatsRegistry",
+def check_pool_quiesced(pool: Any, stats: "StatsRegistry",
                         where: str = "txn end") -> None:
     """Assert no frame of ``pool`` is pinned (transaction boundary check)."""
     stats.add("sanitize.checks")
@@ -128,6 +131,7 @@ def on_lock_acquired(stats: "StatsRegistry", txn_id: int,
                      resource: object) -> None:
     """Witness one granted lock; trip on a runtime lock-order inversion."""
     lock_class = classify_lock_resource(resource)
+    _witnessed_classes.add(lock_class)
     held = _lock_classes.setdefault(txn_id, [])
     if held and held[-1] == lock_class:
         return
@@ -148,7 +152,19 @@ def on_locks_released(txn_id: int) -> None:
     _lock_classes.pop(txn_id, None)
 
 
-def check_txn_locks_released(locks, txn_id: int,
+def lock_witness_txns() -> list[int]:
+    """Txn ids with live per-txn witness state.
+
+    Every released/finished transaction must have been popped by
+    :func:`on_locks_released`; a txn id lingering here after its program
+    ended is a witness-state leak (the map grows for the whole process and
+    later transactions inherit stale inversion context).  Tests assert this
+    is empty after a workload quiesces.
+    """
+    return sorted(_lock_classes)
+
+
+def check_txn_locks_released(locks: Any, txn_id: int,
                              stats: "StatsRegistry") -> None:
     """Assert the lock manager holds nothing for ``txn_id`` any more."""
     stats.add("sanitize.checks")
@@ -173,7 +189,7 @@ def cross_check_static_order(static_edges: Iterable[tuple[str, str]]
     would call a cycle.  Empty list = the two views agree.
     """
     static = {(a, b) for a, b in static_edges}
-    contradictions = []
+    contradictions: list[str] = []
     for a, successors in _witnessed_edges.items():
         for b in successors:
             if (b, a) in static:
@@ -183,10 +199,29 @@ def cross_check_static_order(static_edges: Iterable[tuple[str, str]]
     return sorted(contradictions)
 
 
+def cross_check_lock_summaries(static_classes: Iterable[str]) -> list[str]:
+    """Witnessed lock classes invisible to the static effect summaries.
+
+    ``static_classes`` is every classified lock class the effect analysis
+    (:class:`repro.analyze.effects.EffectAnalysis.all_lock_classes`) proved
+    some function may acquire.  A class witnessed at runtime but absent
+    statically means an acquisition site the call graph could not see —
+    a dynamic receiver, a callback, an unclassifiable resource — i.e. a
+    concrete instance of the analyzer's documented blind spot.  Empty list
+    = every runtime acquisition is statically accounted for.
+    """
+    static = set(static_classes)
+    return sorted(
+        f"runtime witnessed lock class {cls!r} that no static effect "
+        f"summary acquires — an acquisition site the call graph cannot see"
+        for cls in _witnessed_classes if cls not in static)
+
+
 def reset_witness() -> None:
     """Forget witnessed lock order (between tests/workloads)."""
     _lock_classes.clear()
     _witnessed_edges.clear()
+    _witnessed_classes.clear()
 
 
 # -- WAL -------------------------------------------------------------------

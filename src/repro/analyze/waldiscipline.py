@@ -8,9 +8,13 @@ into unrecoverable divergence.  In this engine the discipline is structural:
 and then writes the CHECKPOINT record, and everything else flushes through
 that path.
 
-* **WAL001** — a ``flush_page``/``flush_all`` call site (outside the buffer
-  pool itself) with no WAL append/checkpoint earlier in the same function:
-  the flush is not visibly dominated by hardening the log.
+* **WAL001** — a flush site (outside the buffer pool itself) with no WAL
+  append/checkpoint earlier in the same function.  A *flush site* is a
+  ``flush_page``/``flush_all`` call **or a call to any function whose
+  effect summary says it transitively flushes** without also writing the
+  WAL itself — a helper that flushes on your behalf inherits your
+  obligation to log first.  A call to a ``writes_wal`` callee earlier in
+  the function dominates just as a direct append would.
 * **WAL002** — a bare ``except:`` or blanket ``except Exception:`` whose
   handler neither re-raises nor names what it expects: it swallows
   ``repro.errors`` types (DeadlockError, ChecksumError, SanitizerError...)
@@ -23,8 +27,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.analyze import effects as fx
+from repro.analyze.callgraph import CallGraph, FunctionInfo
 from repro.analyze.findings import Finding
-from repro.analyze.framework import Checker, SourceModule, call_name
+from repro.analyze.framework import Checker, Program, SourceModule, call_name
 
 _FLUSH_METHODS = {"flush_page", "flush_all"}
 #: calls that harden the log (or are the log-hardening path itself).
@@ -41,42 +47,110 @@ class WalDisciplineChecker(Checker):
 
     name = "wal-discipline"
     codes = ("WAL001", "WAL002")
-    description = ("flushes must be dominated by a WAL append; no bare/"
-                   "blanket except may swallow engine errors")
+    description = ("flushes (direct or via flushing callees) must be "
+                   "dominated by a WAL append; no bare/blanket except may "
+                   "swallow engine errors")
+    code_descriptions = {
+        "WAL001": "page flush (direct or via a flushing callee) not "
+                  "preceded by a WAL append/checkpoint",
+        "WAL002": "bare/blanket except swallows engine error types without "
+                  "re-raising",
+    }
+
+    def __init__(self) -> None:
+        self._program: Program | None = None
+
+    def begin(self, program: Program) -> None:
+        self._program = program
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
-        if not module.relpath.endswith(_FLUSH_OWNERS):
-            yield from self._check_flushes(module)
+        """Per-module pass: WAL002 only — WAL001 runs in :meth:`finish`."""
         yield from self._check_swallows(module)
 
-    def _check_flushes(self, module: SourceModule) -> Iterator[Finding]:
-        for call in module.calls():
+    # -- WAL001 (interprocedural) ------------------------------------------
+
+    def finish(self) -> Iterator[Finding]:
+        if self._program is None:  # pragma: no cover - driver always begins
+            return
+        graph = self._program.callgraph()
+        summaries = self._program.effects()
+        for info in graph.iter_functions():
+            if info.path.endswith(_FLUSH_OWNERS):
+                continue  # the pool's own module owns the primitives
+            yield from self._check_function_flushes(info, graph, summaries)
+
+    def _check_function_flushes(self, info: FunctionInfo, graph: CallGraph,
+                                summaries: fx.EffectAnalysis
+                                ) -> Iterator[Finding]:
+        module = info.module
+        dominators = self._dominator_positions(info, graph, summaries)
+        reported: set[int] = set()
+        for call in self._own_calls(info):
+            if call_name(call) not in _FLUSH_METHODS:
+                continue
+            if self._dominated(dominators, call):
+                continue
+            reported.add(id(call))
             method = call_name(call)
-            if method not in _FLUSH_METHODS:
-                continue
-            function = module.enclosing_function(call)
-            if function is None:
-                continue  # scripts/experiments flush at will
-            if self._dominated_by_append(function, call):
-                continue
             yield module.finding(
                 "WAL001", self.name, call,
                 f"{method}() is not dominated by a WAL append/checkpoint in "
-                f"{function.name}(): a crash after this flush can leave "
+                f"{info.name}(): a crash after this flush can leave "
                 f"page images the log never recorded (route through "
                 f"TransactionManager.checkpoint)", detail=method)
+        for site in graph.callees_of.get(info.fid, []):
+            if id(site.call) in reported:
+                continue
+            if call_name(site.call) in _FLUSH_METHODS:
+                continue  # primitive site: handled above
+            callee_effects = summaries.summary(site.callee.fid)
+            if fx.FLUSHES not in callee_effects:
+                continue
+            if fx.WRITES_WAL in callee_effects:
+                continue  # self-disciplined path (checkpoint); checked there
+            if self._dominated(dominators, site.call):
+                continue
+            reported.add(id(site.call))
+            chain = tuple(
+                [f"{info.path}:{site.line}: {info.qualname} calls "
+                 f"{site.text}()"]
+                + summaries.render_path(site.callee.fid, fx.FLUSHES))
+            yield module.finding(
+                "WAL001", self.name, site.call,
+                f"{site.text}() transitively flushes pages (via "
+                f"{site.callee.qualname}()) with no WAL append/checkpoint "
+                f"earlier in {info.name}(): a crash after the flush can "
+                f"leave page images the log never recorded",
+                detail=f"{site.text}->{site.callee.qualname}",
+                call_path=chain)
+
+    def _dominator_positions(self, info: FunctionInfo, graph: CallGraph,
+                             summaries: fx.EffectAnalysis
+                             ) -> list[tuple[int, int]]:
+        """Positions of every call that hardens the log in ``info``."""
+        positions: list[tuple[int, int]] = []
+        for call in self._own_calls(info):
+            if call_name(call) in _LOG_METHODS:
+                positions.append((call.lineno, call.col_offset))
+        for site in graph.callees_of.get(info.fid, []):
+            if summaries.has(site.callee.fid, fx.WRITES_WAL):
+                positions.append((site.line, site.call.col_offset))
+        return positions
 
     @staticmethod
-    def _dominated_by_append(function: ast.AST, flush: ast.Call) -> bool:
+    def _dominated(dominators: list[tuple[int, int]],
+                   flush: ast.Call) -> bool:
         flush_pos = (flush.lineno, flush.col_offset)
-        for node in ast.walk(function):
-            if not isinstance(node, ast.Call):
-                continue
-            if call_name(node) not in _LOG_METHODS:
-                continue
-            if (node.lineno, node.col_offset) < flush_pos:
-                return True
-        return False
+        return any(pos < flush_pos for pos in dominators)
+
+    @staticmethod
+    def _own_calls(info: FunctionInfo) -> Iterator[ast.Call]:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) and \
+                    info.module.enclosing_function(node) is info.node:
+                yield node
+
+    # -- WAL002 ------------------------------------------------------------
 
     def _check_swallows(self, module: SourceModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

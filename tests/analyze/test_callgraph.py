@@ -1,0 +1,176 @@
+"""Call-graph construction and resolution rules."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analyze.framework import Program, SourceModule
+
+
+def build(tmp_path, files):
+    program = Program()
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        program.add(SourceModule(path, tmp_path))
+    return program
+
+
+def callees(graph, fid):
+    return sorted(site.callee.fid for site in graph.callees_of.get(fid, []))
+
+
+class TestResolution:
+    def test_self_method_resolves_to_own_class(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            class A:
+                def outer(self):
+                    self.inner()
+                def inner(self):
+                    pass
+            class B:
+                def inner(self):
+                    pass
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::A.outer") == ["m.py::A.inner"]
+
+    def test_self_method_walks_base_chain(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            class Base:
+                def helper(self):
+                    pass
+            class Child(Base):
+                def run(self):
+                    self.helper()
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::Child.run") == ["m.py::Base.helper"]
+
+    def test_unknown_self_method_falls_back_to_all_candidates(self, tmp_path):
+        # The class chain doesn't define it (the base is outside the tree):
+        # conservatively, every method with that name is a candidate.
+        program = build(tmp_path, {"m.py": """\
+            class Mixin(SomethingExternal):
+                def run(self):
+                    self.mystery()
+            class X:
+                def mystery(self):
+                    pass
+            class Y:
+                def mystery(self):
+                    pass
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::Mixin.run") == [
+            "m.py::X.mystery", "m.py::Y.mystery"]
+
+    def test_plain_call_resolves_same_module_function(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            def helper():
+                pass
+            def run():
+                helper()
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::run") == ["m.py::helper"]
+
+    def test_from_import_resolves_across_modules(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/util.py": """\
+                def shared():
+                    pass
+                """,
+            "pkg/main.py": """\
+                from pkg.util import shared
+                def run():
+                    shared()
+                """,
+        })
+        graph = program.callgraph()
+        assert callees(graph, "pkg/main.py::run") == ["pkg/util.py::shared"]
+
+    def test_imported_class_call_resolves_to_init(self, tmp_path):
+        program = build(tmp_path, {
+            "pkg/thing.py": """\
+                class Thing:
+                    def __init__(self):
+                        pass
+                """,
+            "pkg/main.py": """\
+                from pkg.thing import Thing
+                def run():
+                    Thing()
+                """,
+        })
+        graph = program.callgraph()
+        assert callees(graph, "pkg/main.py::run") == [
+            "pkg/thing.py::Thing.__init__"]
+
+    def test_class_qualified_call_resolves(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            class Helper:
+                def util(self):
+                    pass
+            class User:
+                def run(self):
+                    Helper.util(self)
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::User.run") == ["m.py::Helper.util"]
+
+    def test_arbitrary_receiver_is_unresolved(self, tmp_path):
+        # lines.append must NOT resolve to LogManager.append: by-name
+        # receiver matching would poison every WAL summary.
+        program = build(tmp_path, {"m.py": """\
+            class LogManager:
+                def append(self, rec):
+                    pass
+            def run(lines):
+                lines.append(1)
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::run") == []
+
+    def test_nested_function_calls_belong_to_the_nested_fn(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            def helper():
+                pass
+            def outer():
+                def inner():
+                    helper()
+                return inner
+            """})
+        graph = program.callgraph()
+        assert callees(graph, "m.py::outer") == []
+        assert callees(graph, "m.py::outer.inner") == ["m.py::helper"]
+
+    def test_callers_of_is_the_reverse_index(self, tmp_path):
+        program = build(tmp_path, {"m.py": """\
+            def helper():
+                pass
+            def a():
+                helper()
+            def b():
+                helper()
+            """})
+        graph = program.callgraph()
+        callers = sorted(site.caller.fid
+                         for site in graph.callers_of["m.py::helper"])
+        assert callers == ["m.py::a", "m.py::b"]
+
+
+class TestProgramCaching:
+    def test_adding_a_module_invalidates_the_graph(self, tmp_path):
+        program = build(tmp_path, {"a.py": """\
+            def a():
+                pass
+            """})
+        first = program.callgraph()
+        assert program.callgraph() is first  # cached
+        path = tmp_path / "b.py"
+        path.write_text("def b():\n    pass\n")
+        program.add(SourceModule(path, tmp_path))
+        rebuilt = program.callgraph()
+        assert rebuilt is not first
+        assert "b.py::b" in rebuilt.functions

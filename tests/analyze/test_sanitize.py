@@ -1,8 +1,13 @@
 """Runtime sanitizers: trips, counters, and engine wiring."""
 
+import textwrap
+
 import pytest
 
 from repro.analyze import sanitize
+from repro.analyze.framework import Program, SourceModule
+from repro.cc.scheduler import Do, Lock, Scheduler
+from repro.cc.subdocument import PrefixLockTable
 from repro.core.engine import Database
 from repro.core.stats import METRICS, StatsRegistry
 from repro.errors import BufferPoolError, SanitizerError
@@ -110,6 +115,110 @@ class TestLockSanitizers:
         contradictions = sanitize.cross_check_static_order([("doc", "row")])
         assert len(contradictions) == 1
         assert "'row' before 'doc'" in contradictions[0]
+
+
+class TestSchedulerWitnessCleanup:
+    """Scheduler lock backends (PrefixLockTable, protocol adapters) never
+    notify the sanitizer, and Do effects may lock through a *different*
+    manager than the backend the scheduler releases through — so the
+    scheduler itself must drop per-txn witness state on commit and on
+    victim abort, or abandoned txn ids accumulate forever."""
+
+    @staticmethod
+    def _deadlocking_programs(mgr):
+        def make(first, second):
+            def body(txn_id):
+                # Witness state under this txn id through a wired manager
+                # the scheduler's backend knows nothing about.
+                yield Do(lambda: mgr.try_acquire(
+                    txn_id, ("row", txn_id), LockMode.S))
+                yield Lock((1, first), LockMode.X)
+                yield Lock((1, second), LockMode.X)
+            return body
+        return [("ab", make(b"\x01", b"\x02")),
+                ("ba", make(b"\x02", b"\x01"))]
+
+    def test_deadlock_restart_does_not_leak_witness_state(self, armed,
+                                                          stats):
+        table = PrefixLockTable(stats)
+        mgr = LockManager(stats)
+        result = Scheduler(table, seed=5).run(
+            self._deadlocking_programs(mgr), round_robin=True)
+        assert result.committed == 2
+        assert result.deadlock_aborts >= 1
+        # The victim's abandoned txn id and both committed ids must all
+        # have been popped — the witness map is empty after quiesce.
+        assert sanitize.lock_witness_txns() == []
+
+    def test_commit_pops_witness_state_for_non_wired_backends(self, armed,
+                                                              stats):
+        table = PrefixLockTable(stats)
+        mgr = LockManager(stats)
+
+        def body(txn_id):
+            yield Do(lambda: mgr.try_acquire(
+                txn_id, ("row", txn_id), LockMode.S))
+            yield Lock((1, b"\x01"), LockMode.X)
+
+        result = Scheduler(table, seed=1).run([("solo", body)])
+        assert result.committed == 1
+        assert sanitize.lock_witness_txns() == []
+
+    def test_disarmed_scheduler_does_not_touch_witness_state(self, stats):
+        sanitize.disable()
+        table = PrefixLockTable(stats)
+        mgr = LockManager(stats)
+        result = Scheduler(table, seed=5).run(
+            self._deadlocking_programs(mgr), round_robin=True)
+        assert result.committed == 2
+
+
+class TestLockSummaryCrossCheck:
+    def test_witnessed_class_missing_statically_is_reported(self, armed,
+                                                            stats):
+        sanitize.on_lock_acquired(stats, 1, ("row", 1))
+        sanitize.on_lock_acquired(stats, 1, ("weird", 2))
+        sanitize.on_locks_released(1)
+        issues = sanitize.cross_check_lock_summaries({"row", "doc"})
+        assert len(issues) == 1
+        assert "'weird'" in issues[0]
+        assert sanitize.cross_check_lock_summaries({"row", "weird"}) == []
+
+    def test_witnessed_classes_survive_txn_end(self, armed, stats):
+        # Unlike the per-txn order lists, the class set must outlive the
+        # transaction: the cross-check runs after the workload quiesced.
+        sanitize.on_lock_acquired(stats, 3, ("row", 1))
+        sanitize.on_locks_released(3)
+        assert sanitize.cross_check_lock_summaries(set()) != []
+
+    def test_reset_witness_clears_the_class_set(self, armed, stats):
+        sanitize.on_lock_acquired(stats, 1, ("row", 1))
+        sanitize.reset_witness()
+        assert sanitize.cross_check_lock_summaries(set()) == []
+
+    def test_against_real_effect_summaries(self, armed, stats, tmp_path):
+        # Static side: effect summaries of a fixture tree.  Runtime side:
+        # a wired LockManager witnessing live acquisitions.
+        path = tmp_path / "proto.py"
+        path.write_text(textwrap.dedent("""\
+            class Protocol:
+                def write(self, mgr, txn):
+                    mgr.try_acquire(txn, ("row", 1), "X")
+                    mgr.try_acquire(txn, ("doc", 1), "X")
+            """))
+        program = Program()
+        program.add(SourceModule(path, tmp_path))
+        static = program.effects().all_lock_classes()
+        locks = LockManager(stats)
+        locks.try_acquire(9, ("row", 4), LockMode.X)
+        locks.release_all(9)
+        assert sanitize.cross_check_lock_summaries(static) == []
+        # A class the static analysis never saw is a blind-spot witness.
+        locks.try_acquire(10, ("node", 7), LockMode.X)
+        locks.release_all(10)
+        issues = sanitize.cross_check_lock_summaries(static)
+        assert len(issues) == 1
+        assert "'node'" in issues[0]
 
 
 class TestWalSanitizers:
