@@ -28,7 +28,7 @@ no-ops while disarmed; the hot-path cost is one module-level bool test.
 from __future__ import annotations
 
 import os
-from collections import defaultdict
+from collections import Counter, defaultdict
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.errors import SanitizerError
@@ -222,6 +222,33 @@ def reset_witness() -> None:
     _lock_classes.clear()
     _witnessed_edges.clear()
     _witnessed_classes.clear()
+
+
+# -- accounting ------------------------------------------------------------
+
+def check_accounting_caps(stats: "StatsRegistry",
+                          records: Iterable[Any]) -> None:
+    """Assert per-txn accounting never over-charges the global counters.
+
+    ``records`` are accounting records (anything with a ``counters`` dict).
+    For every counter, the sum charged across transactions must be bounded
+    by the global counter: per-txn sinks only ever mirror global
+    increments, so a sum *exceeding* the global total means work was
+    double-attributed — the failure mode of a racy sink under concurrent
+    sessions (the thread-local-sink design exists to prevent exactly
+    this).  The serving layer runs this check when it drains.
+    """
+    stats.add("sanitize.checks")
+    totals: Counter[str] = Counter()
+    for record in records:
+        totals.update(record.counters)
+    for name, charged in sorted(totals.items()):
+        total = stats.get(name)
+        if charged > total:
+            trip(stats, "accounting_overcharge",
+                 f"accounting records charge {charged} of {name!r} but the "
+                 f"global counter only saw {total} — per-txn attribution "
+                 f"double-counted under concurrency")
 
 
 # -- WAL -------------------------------------------------------------------

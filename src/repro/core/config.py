@@ -35,6 +35,15 @@ class EngineConfig:
         txn_retry_limit: How many times the engine's ``run_in_txn`` retries
             a transaction aborted as a deadlock or timeout victim before
             giving up.
+        txn_retry_backoff_base / txn_retry_backoff_cap: Jittered
+            exponential backoff between ``run_in_txn`` victim retries, in
+            seconds: attempt ``n`` sleeps ``min(cap, base * 2**n)`` scaled
+            by a jitter factor in [0.5, 1.5) drawn from a seeded RNG.
+            Without backoff, retrying victims restart immediately and
+            contending transactions collide again in lockstep (a retry hot
+            loop).  ``base`` 0 disables backoff entirely.
+        txn_retry_jitter_seed: Seed for the per-engine backoff-jitter RNG,
+            making retry delays reproducible in tests.
         checkpoint_interval: Commits between automatic WAL checkpoints
             (0 disables automatic checkpointing; ``Database.checkpoint``
             is always available).
@@ -53,6 +62,32 @@ class EngineConfig:
             counter deltas — in ``Database.slow_queries``.  0 disables a
             threshold; all-zero disables slow-query capture entirely (and
             its per-query tracer).
+        serve_workers: Worker threads in the serving layer's pool — the
+            admission controller's concurrency-token count (DB2 z/OS:
+            CTHREAD, the active-thread ceiling).
+        serve_queue_limit: Bounded admission wait queue: requests beyond
+            the active set queue here; once the queue is full further
+            requests are shed with ``ServerOverloadedError`` (DB2:
+            queued-at-create-thread).
+        serve_default_deadline: Default per-request deadline in seconds
+            applied by the server when a request carries none (0 disables).
+        serve_shed_lock_waiters: Overload signal: shed new work while more
+            than this many transactions sit in the lock table's waits-for
+            graph (0 disables the signal).
+        serve_shed_min_hit_ratio: Overload signal: shed new work while the
+            buffer-pool hit ratio sits below this fraction (after at least
+            ``serve_shed_min_touches`` pool touches; 0.0 disables).
+        serve_shed_min_touches: Minimum buffer-pool touches before the
+            hit-ratio signal is trusted (a cold pool always misses).
+        serve_shed_check_interval: Admissions between re-evaluations of
+            the overload signals (the verdict is cached in between, so
+            admission stays O(1) per request).
+        serve_lock_yield: Seconds a server-mode lock wait sleeps per
+            backoff step *with the engine latch released*, letting the
+            lock holder's session run on another worker.
+        serve_stmt_cache_size: Prepared statements cached per session
+            (parsed path + access plan, over the global
+            :mod:`repro.xpath.cache` LRUs).
     """
 
     page_size: int = 4096
@@ -64,6 +99,9 @@ class EngineConfig:
     lock_backoff_initial: int = 1
     lock_backoff_cap: int = 16
     txn_retry_limit: int = 5
+    txn_retry_backoff_base: float = 0.001
+    txn_retry_backoff_cap: float = 0.05
+    txn_retry_jitter_seed: int = 0
     checkpoint_interval: int = 0
     mvcc_retained_versions: int = 4
     validate_on_insert: bool = True
@@ -72,6 +110,15 @@ class EngineConfig:
     slow_query_page_reads: int = 0
     slow_query_entries_scanned: int = 0
     slow_query_events: int = 0
+    serve_workers: int = 4
+    serve_queue_limit: int = 32
+    serve_default_deadline: float = 0.0
+    serve_shed_lock_waiters: int = 0
+    serve_shed_min_hit_ratio: float = 0.0
+    serve_shed_min_touches: int = 256
+    serve_shed_check_interval: int = 16
+    serve_lock_yield: float = 0.0005
+    serve_stmt_cache_size: int = 64
 
     def slow_query_thresholds(self) -> dict[str, int]:
         """Enabled slow-query thresholds as ``{counter name: limit}``."""

@@ -1,0 +1,53 @@
+"""Request deadlines: a wall-clock budget threaded through the engine.
+
+A :class:`Deadline` is created at the serving layer's front door (one per
+request) and propagates through :meth:`Database.run_in_txn` into the
+transaction layer, where the interactive lock-wait loop checks it between
+backoff steps and the retry machinery caps its jittered sleeps against it.
+Expiry raises :class:`~repro.errors.DeadlineExceededError` — a typed,
+non-retryable outcome clients can distinguish from contention
+(``LockTimeoutError``/``DeadlockError``, which *are* retryable).
+
+Deadlines are wall-clock (``time.monotonic``) because the serving layer is
+real threads: while one session waits on a lock the holder runs on another
+thread, so time genuinely passes.  Single-threaded engine use is
+unaffected — without a serving layer no real time elapses inside the
+simulated wait loop, so only an already-expired deadline can fire there.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Deadline:
+    """An absolute point in monotonic time a request must finish by."""
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` of wall-clock time from now."""
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def expired_deadline(cls) -> "Deadline":
+        """An already-expired deadline (tests and shed paths)."""
+        return cls(time.monotonic())
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (0.0 once expired)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` capped to the remaining budget (never negative)."""
+        return max(0.0, min(seconds, self.remaining()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.4f}s)"

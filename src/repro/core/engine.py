@@ -14,6 +14,9 @@ deterministic, so all physical IDs reproduce.
 from __future__ import annotations
 
 import datetime as _dt
+import random
+import threading
+import time
 from collections import Counter
 from dataclasses import dataclass
 from decimal import Decimal
@@ -21,9 +24,10 @@ from typing import Callable, TypeVar
 
 from repro.analyze import sanitize as _sanitize
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.deadline import Deadline
 from repro.core.stats import StatsRegistry
-from repro.errors import (CatalogError, DeadlockError, DocumentNotFoundError,
-                          LockTimeoutError, QueryError)
+from repro.errors import (CatalogError, DeadlineExceededError, DeadlockError,
+                          DocumentNotFoundError, LockTimeoutError, QueryError)
 from repro.indexes.definition import XPathIndexDefinition
 from repro.indexes.manager import XPathValueIndex
 from repro.lang import ast
@@ -82,6 +86,20 @@ class Database:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
         self.injector = injector
+        #: Engine latch: the engine's internals are single-threaded, so a
+        #: concurrent front end (``repro.serve``) serializes every engine
+        #: entry behind this lock.  The latch is deliberately *yielded*
+        #: while a transaction sleeps — inside the lock-wait backoff loop
+        #: (``TransactionManager.lock_wait_yield``) and during victim-retry
+        #: backoff (:attr:`backoff_sleep`) — which is exactly when another
+        #: session's progress is what unblocks this one.
+        self.latch = threading.RLock()
+        #: Jitter source for victim-retry backoff (seeded for determinism).
+        self._retry_rng = random.Random(config.txn_retry_jitter_seed)
+        #: How ``run_in_txn`` sleeps between victim retries.  Defaults to
+        #: ``time.sleep``; the serving layer installs a latch-releasing
+        #: sleep so a backoff never stalls other sessions.
+        self.backoff_sleep: Callable[[float], None] | None = None
         disk = Disk(config.page_size, stats=self.stats)
         if injector is not None:
             from repro.fault.disk import FaultyDisk
@@ -332,26 +350,39 @@ class Database:
                               path=path_text) as span:
             plan = self.plan_xpath(table, column, path_text, namespaces,
                                    method)
-            store = self._store(table, column)
-            matches = Executor(store, stats=self.stats).execute(plan)
-            with self.stats.trace("db.docid_join") as join_span:
-                docid_index = self.docid_indexes[table]
-                base_table = self.tables[table]
-                out = []
-                for match in matches:
-                    rid_bytes = docid_index.search_one(
-                        match.docid.to_bytes(8, "big"))
-                    if rid_bytes is None:  # pragma: no cover - index skew
-                        continue
-                    base_rid = Rid.from_bytes(rid_bytes)
-                    out.append(XPathResult(match.docid, base_rid,
-                                           base_table.fetch(base_rid), match))
-                if join_span is not None:
-                    join_span.set("rows", len(out))
+            out = self.execute_plan(table, column, plan)
             if span is not None:
                 span.set("method", plan.method.value)
                 span.set("rows", len(out))
             return plan, out
+
+    def execute_plan(self, table: str, column: str,
+                     plan: AccessPlan) -> list[XPathResult]:
+        """Execute a previously built :class:`AccessPlan` (skip planning).
+
+        This is the prepared-statement entry point: the serving layer's
+        per-session statement cache plans a path once and replays the plan
+        per execution.  Note a cached plan reflects the indexes that
+        existed when it was planned; DDL invalidates it (the session cache
+        drops plans on DDL, ad-hoc callers should re-plan).
+        """
+        store = self._store(table, column)
+        matches = Executor(store, stats=self.stats).execute(plan)
+        with self.stats.trace("db.docid_join") as join_span:
+            docid_index = self.docid_indexes[table]
+            base_table = self.tables[table]
+            out = []
+            for match in matches:
+                rid_bytes = docid_index.search_one(
+                    match.docid.to_bytes(8, "big"))
+                if rid_bytes is None:  # pragma: no cover - index skew
+                    continue
+                base_rid = Rid.from_bytes(rid_bytes)
+                out.append(XPathResult(match.docid, base_rid,
+                                       base_table.fetch(base_rid), match))
+            if join_span is not None:
+                join_span.set("rows", len(out))
+        return out
 
     def explain_analyze(self, table: str, column: str, path_text: str,
                         namespaces: dict[str, str] | None = None,
@@ -444,9 +475,25 @@ class Database:
         """
         self.txns.checkpoint()
 
+    def _retry_backoff_delay(self, retry_index: int) -> float:
+        """Jittered exponential backoff before victim retry ``retry_index``.
+
+        ``min(cap, base * 2**retry_index)`` scaled by a jitter factor in
+        [0.5, 1.5) from the seeded per-engine RNG — deterministic for a
+        given config seed, and 0.0 whenever backoff is disabled
+        (``txn_retry_backoff_base`` <= 0).
+        """
+        base = self.config.txn_retry_backoff_base
+        if base <= 0:
+            return 0.0
+        cap = max(base, self.config.txn_retry_backoff_cap)
+        delay = min(cap, base * (2 ** retry_index))
+        return delay * (0.5 + self._retry_rng.random())
+
     def run_in_txn(self, body: Callable[["Database", object], _T],
                    isolation: IsolationLevel | None = None,
-                   retries: int | None = None) -> _T:
+                   retries: int | None = None,
+                   deadline: Deadline | None = None) -> _T:
         """Run ``body(db, txn)`` in a transaction, retrying victims.
 
         Commits on success and returns ``body``'s result.  On any engine
@@ -454,13 +501,32 @@ class Database:
         error was a deadlock or lock timeout the transaction is retried
         from scratch, up to ``retries`` times (default
         ``config.txn_retry_limit``), before the last error propagates.
+
+        Victim retries back off with seeded jitter (see
+        ``EngineConfig.txn_retry_backoff_*``) instead of restarting
+        immediately: an immediate restart re-collides with the very
+        transactions that just won, turning contention into a retry hot
+        loop.  The slept time is charged to the transaction's accounting
+        record as ``txn.retry_backoff_us``.
+
+        ``deadline`` propagates into the transaction (capping its
+        lock-wait budget) and gates each retry: once expired the work
+        fails with :class:`~repro.errors.DeadlineExceededError` —
+        non-retryable by construction, so a client deadline cannot be
+        burned by the retry machinery.
         """
         limit = self.config.txn_retry_limit if retries is None else retries
         attempt = 0
         carry: Counter | None = None
         victims: list[int] = []
         while True:
+            if deadline is not None and deadline.expired():
+                self.stats.add("txn.deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"deadline expired before transaction attempt "
+                    f"{attempt} could begin")
             txn = self.txns.begin(isolation or IsolationLevel.READ_COMMITTED)
+            txn.deadline = deadline
             if carry is not None:
                 # Fold the aborted victim attempts into this attempt's
                 # accounting: their charged work, the retry count and their
@@ -483,10 +549,19 @@ class Database:
                         raise
                     attempt += 1
                     self.txns.accounting.retract(txn.txn_id)
+                    delay = self._retry_backoff_delay(attempt - 1)
+                    if deadline is not None:
+                        delay = deadline.clamp(delay)
                     with txn.charging():
                         self.stats.add("txn.retries")
+                        if delay > 0:
+                            self.stats.add("txn.retry_backoff_us",
+                                           int(delay * 1_000_000))
                     carry = Counter(txn.acct)
                     victims.append(txn.txn_id)
+                    if delay > 0:
+                        sleep = self.backoff_sleep or time.sleep
+                        sleep(delay)
                     continue
                 except BaseException:
                     if txn.state is TxnState.ACTIVE:

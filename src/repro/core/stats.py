@@ -9,6 +9,7 @@ registry is cheap enough to leave enabled permanently.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
@@ -41,6 +42,7 @@ METRICS: frozenset[str] = frozenset({
     # transactions
     "txn.begun", "txn.aborts", "txn.retries", "txn.deadlocks",
     "txn.deadlock_aborts", "txn.timeout_aborts", "txn.lock_timeouts",
+    "txn.retry_backoff_us", "txn.deadline_exceeded",
     # fault injection
     "fault.injected", "fault.crashes",
     # query executor
@@ -57,9 +59,16 @@ METRICS: frozenset[str] = frozenset({
     "sanitize.checks", "sanitize.double_unpin",
     "sanitize.pinned_at_txn_end", "sanitize.locks_at_txn_end",
     "sanitize.lock_order", "sanitize.lsn_regression",
-    "sanitize.active_txns_at_close",
+    "sanitize.active_txns_at_close", "sanitize.accounting_overcharge",
     # instrumentation facility (repro.obs.monitor / slow-query log)
     "obs.slow_queries", "obs.accounting_records",
+    # serving layer (repro.serve): admission, sessions, outcomes
+    "serve.requests", "serve.admitted", "serve.completed", "serve.failed",
+    "serve.shed_queue_full", "serve.shed_overload", "serve.shed_closed",
+    "serve.deadline_expired", "serve.overload_checks",
+    "serve.sessions_opened", "serve.sessions_closed",
+    "serve.stmt_hits", "serve.stmt_misses",
+    "serve.chaos_faults",
 })
 
 
@@ -82,6 +91,9 @@ HISTOGRAMS: frozenset[str] = frozenset({
     "wal.record_bytes",
     # buffer pool: pool accesses a frame stayed resident before eviction
     "buffer.eviction_residency",
+    # serving layer: admission-queue wait and end-to-end request latency
+    # (microseconds; p50/p99 for the load-harness report come from here)
+    "serve.queue_wait_us", "serve.request_us",
 })
 
 
@@ -204,6 +216,14 @@ class StatsRegistry:
     (``stats.tracer``); components open spans through :meth:`trace` /
     :meth:`trace_event`, which are reusable no-ops while no tracer is
     installed, so permanent instrumentation stays ~free.
+
+    The registry is **thread-safe**: counter/gauge/histogram mutation is
+    guarded by one internal lock (a read-modify-write on a shared Counter
+    is not atomic), and the accounting sink of :meth:`charge` is
+    *per-thread* — each serving-layer worker charges the transaction it is
+    running, concurrently, without cross-attributing work.  This is what
+    keeps the "per-txn deltas sum to global deltas" reconciliation
+    invariant true under concurrent sessions.
     """
 
     def __init__(self) -> None:
@@ -212,19 +232,23 @@ class StatsRegistry:
         self._histograms: dict[str, Histogram] = {}
         #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
         self.tracer = None
-        #: Innermost accounting sink (a Counter) — see :meth:`charge`.
-        self._sink: Counter[str] | None = None
+        #: Guards every mutation of the shared maps above.
+        self._lock = threading.Lock()
+        #: Per-thread innermost accounting sink — see :meth:`charge`.
+        self._local = threading.local()
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``.
 
-        If an accounting sink is installed (see :meth:`charge`), the
-        increment is mirrored there, attributing the work to whichever
-        transaction the innermost sink belongs to.
+        If the calling thread has an accounting sink installed (see
+        :meth:`charge`), the increment is mirrored there, attributing the
+        work to whichever transaction that thread is running.
         """
-        self._counters[name] += amount
-        if self._sink is not None:
-            self._sink[name] += amount
+        sink = getattr(self._local, "sink", None)
+        with self._lock:
+            self._counters[name] += amount
+            if sink is not None:
+                sink[name] += amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never touched)."""
@@ -232,8 +256,9 @@ class StatsRegistry:
 
     def set_high_water(self, name: str, value: int) -> None:
         """Record ``value`` into gauge ``name`` if it exceeds the old mark."""
-        if value > self._gauges.get(name, 0):
-            self._gauges[name] = value
+        with self._lock:
+            if value > self._gauges.get(name, 0):
+                self._gauges[name] = value
 
     def gauge(self, name: str) -> int:
         """Current high-water mark of gauge ``name`` (0 if never set)."""
@@ -241,7 +266,8 @@ class StatsRegistry:
 
     def gauges(self) -> dict[str, int]:
         """All gauges (high-water marks) as a plain dict."""
-        return dict(self._gauges)
+        with self._lock:
+            return dict(self._gauges)
 
     def observe(self, name: str, value: int) -> None:
         """Record ``value`` into histogram ``name`` (created on first use).
@@ -250,10 +276,11 @@ class StatsRegistry:
         ``stats-hygiene`` checker (STAT003) enforces it, exactly as
         STAT002 does for counters.
         """
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
 
     def histogram(self, name: str) -> Histogram | None:
         """Histogram ``name``, or None if never observed."""
@@ -261,17 +288,20 @@ class StatsRegistry:
 
     def histograms(self) -> dict[str, Histogram]:
         """All histograms keyed by name."""
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def reset(self) -> None:
         """Zero every counter, gauge and histogram."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def counters(self) -> dict[str, int]:
         """All counters (no gauges) as a plain dict."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def snapshot(self) -> dict[str, int]:
         """All counters and gauges as a plain dict.
@@ -280,10 +310,11 @@ class StatsRegistry:
         sharing a counter's name can never clobber the counter (they are
         different quantities: monotone totals vs high-water marks).
         """
-        merged: dict[str, int] = dict(self._counters)
-        for name, value in self._gauges.items():
-            merged[f"gauge:{name}"] = value
-        return merged
+        with self._lock:
+            merged: dict[str, int] = dict(self._counters)
+            for name, value in self._gauges.items():
+                merged[f"gauge:{name}"] = value
+            return merged
 
     # -- tracing hooks ----------------------------------------------------
 
@@ -321,13 +352,17 @@ class StatsRegistry:
         charged body) cannot double-count, and work an inner transaction
         does under an outer one is attributed to the inner (innermost
         wins).  Passing ``None`` suspends attribution inside the block.
+
+        The sink is **thread-local**: each serving-layer worker charges
+        only the transaction it is running, so concurrent sessions cannot
+        cross-attribute work (the PR 4 reconciliation invariant).
         """
-        previous = self._sink
-        self._sink = sink
+        previous = getattr(self._local, "sink", None)
+        self._local.sink = sink
         try:
             yield
         finally:
-            self._sink = previous
+            self._local.sink = previous
 
     @contextmanager
     def delta(self) -> Iterator[dict[str, int]]:
@@ -340,12 +375,15 @@ class StatsRegistry:
                 run_query()
             print(d.get("disk.page_reads", 0))
         """
-        before = dict(self._counters)
+        with self._lock:
+            before = dict(self._counters)
         out: dict[str, int] = {}
         try:
             yield out
         finally:
-            for name, value in self._counters.items():
+            with self._lock:
+                after = dict(self._counters)
+            for name, value in after.items():
                 diff = value - before.get(name, 0)
                 if diff:
                     out[name] = diff

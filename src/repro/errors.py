@@ -72,6 +72,37 @@ class LockTimeoutError(TransactionError):
     """A lock request could not be granted within the configured bound."""
 
 
+class ServerError(ReproError):
+    """Base class for serving-layer failures (see :mod:`repro.serve`).
+
+    The serving layer's error taxonomy is typed so clients can tell
+    "back off and retry later" (:class:`ServerOverloadedError`), "this
+    request ran out of time" (:class:`DeadlineExceededError`) and "the
+    server is going away" (:class:`ServerClosedError`) from a broken
+    engine (any other :class:`ReproError`).
+    """
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control shed the request: queue full or engine overloaded.
+
+    The work was *not* started; retrying after a backoff is safe.
+    """
+
+
+class DeadlineExceededError(ServerError):
+    """The request's deadline expired (queued, waiting on a lock, or
+    between victim retries) before the work could complete.
+
+    Any transactional work performed on behalf of the request has been
+    aborted; nothing was committed.
+    """
+
+
+class ServerClosedError(ServerError):
+    """The server is shut down (or draining) and accepts no new work."""
+
+
 class XmlError(ReproError):
     """Base class for XML data-model and parsing errors."""
 

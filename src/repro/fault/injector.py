@@ -18,8 +18,18 @@ threaded through:
     before / after a COMMIT record specifically
 ``wal.checkpoint.post``
     after a CHECKPOINT record
+``serve.request``
+    inside each serving-layer request's transaction body (chaos mode:
+    a ``fail_at`` spec here makes exactly one session's transaction fail
+    mid-flight without touching the others)
 ``engine.*``
     workloads may fire their own points through :meth:`FaultInjector.hit`
+
+Besides crashes, a point can host a *non-fatal* injected failure:
+``FaultPlan.fail_at`` raises :class:`~repro.errors.FaultInjectionError`
+(an ordinary engine error the transaction machinery aborts and reports)
+on the Nth hit — the chaos-mode primitive for "this one request dies,
+everyone else keeps serving".
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.errors import FaultInjectionError
 
 
 class SimulatedCrash(BaseException):
@@ -50,11 +61,12 @@ class SimulatedCrash(BaseException):
 class FaultSpec:
     """One planned fault.
 
-    ``kind`` is one of ``fail_write``/``torn_write``/``flip_read``/``crash``;
-    ``nth`` the 1-based occurrence of the matching event that triggers it.
-    ``point`` names the crash point (``crash`` only).  ``keep_bytes`` is how
-    much of a torn write reaches the device (-1 = seeded random) and ``bit``
-    the absolute bit index a read flips (-1 = seeded random).
+    ``kind`` is one of ``fail_write``/``torn_write``/``flip_read``/``crash``/
+    ``fail_point``; ``nth`` the 1-based occurrence of the matching event that
+    triggers it.  ``point`` names the crash/failure point (``crash`` and
+    ``fail_point``).  ``keep_bytes`` is how much of a torn write reaches the
+    device (-1 = seeded random) and ``bit`` the absolute bit index a read
+    flips (-1 = seeded random).
     """
 
     kind: str
@@ -64,12 +76,14 @@ class FaultSpec:
     bit: int = -1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fail_write", "torn_write", "flip_read", "crash"):
+        if self.kind not in ("fail_write", "torn_write", "flip_read",
+                             "crash", "fail_point"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.nth < 1:
             raise ValueError("fault occurrence numbers are 1-based")
-        if self.kind == "crash" and not self.point:
-            raise ValueError("crash faults need a crash-point name")
+        if self.kind in ("crash", "fail_point") and not self.point:
+            raise ValueError(
+                f"{self.kind} faults need a crash-point name")
 
 
 class FaultPlan:
@@ -98,6 +112,17 @@ class FaultPlan:
     def crash_at(point: str, hit: int = 1) -> FaultSpec:
         """Simulate a crash on the Nth hit of the named crash point."""
         return FaultSpec("crash", hit, point=point)
+
+    @staticmethod
+    def fail_at(point: str, hit: int = 1) -> FaultSpec:
+        """Raise ``FaultInjectionError`` on the Nth hit of the named point.
+
+        Unlike :meth:`crash_at` this is an *ordinary* engine error: the
+        surrounding transaction aborts and the process lives on — the
+        chaos-mode primitive for killing one session's work mid-flight
+        while the rest of the server keeps running.
+        """
+        return FaultSpec("fail_point", hit, point=point)
 
 
 @dataclass(frozen=True)
@@ -153,18 +178,27 @@ class FaultInjector:
     # -- event sinks -------------------------------------------------------
 
     def hit(self, point: str) -> None:
-        """Fire crash point ``point``; raises :class:`SimulatedCrash` when
-        the plan says this hit is the one that kills the process."""
+        """Fire crash point ``point``.
+
+        Raises :class:`SimulatedCrash` when the plan says this hit kills
+        the process, or :class:`~repro.errors.FaultInjectionError` for a
+        non-fatal ``fail_at`` spec (chaos mode).
+        """
         if not self.armed:
             return
         self.point_hits[point] += 1
         count = self.point_hits[point]
         for spec in self.plan:
-            if spec.kind == "crash" and spec.point == point and \
-                    spec.nth == count:
+            if spec.point != point or spec.nth != count:
+                continue
+            if spec.kind == "crash":
                 self._record("crash", f"{point}#{count}")
                 self.stats.add("fault.crashes")
                 raise SimulatedCrash(point, count)
+            if spec.kind == "fail_point":
+                self._record("fail_point", f"{point}#{count}")
+                raise FaultInjectionError(
+                    f"injected failure at {point!r} (hit {count})")
 
     def on_write(self, page_id: int, data: bytes) -> WriteOutcome:
         """Decide the fate of one physical page write."""

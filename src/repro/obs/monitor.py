@@ -148,10 +148,15 @@ class MonitorSnapshot:
     accounting: dict = field(default_factory=dict)
     #: Slow-query ring summary (captured/buffered counts).
     slow_queries: dict = field(default_factory=dict)
+    #: Serving-layer view (``DatabaseServer.view()``): worker pool state,
+    #: queue depth, session count, request outcome counters.  Empty when
+    #: no server is attached to the monitor.
+    server: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (exporters, artifacts, report CLI)."""
         return {
+            "server": self.server,
             "buffer_pool": self.buffer_pool.to_dict(),
             "lock_table": self.lock_table.to_dict(),
             "wal": self.wal.to_dict(),
@@ -223,19 +228,61 @@ class MonitorSnapshot:
         slow = self.slow_queries
         lines.append(f"  slow queries: {slow.get('captured', 0)} captured, "
                      f"{slow.get('buffered', 0)} buffered")
+        if self.server:
+            srv = self.server
+            lines += [
+                "=== SERVER ===",
+                (f"  {srv['state']}: {srv['busy']}/{srv['workers']} workers "
+                 f"busy, queue {srv['queue_depth']}/{srv['queue_limit']}, "
+                 f"{srv['sessions_open']} sessions"),
+                (f"  requests {srv['requests']}  admitted {srv['admitted']}  "
+                 f"completed {srv['completed']}  failed {srv['failed']}  "
+                 f"deadline-expired {srv['deadline_expired']}  "
+                 f"shed {srv['shed']}"),
+            ]
         return "\n".join(lines)
 
 
 class Monitor:
-    """Assembles :class:`MonitorSnapshot` views from a live engine."""
+    """Assembles :class:`MonitorSnapshot` views from a live engine.
 
-    def __init__(self, db) -> None:
+    A :class:`~repro.serve.server.DatabaseServer` built on the engine
+    attaches itself as :attr:`server`, adding a ``-DISPLAY THREAD``-style
+    section to snapshots and enabling the cheap :meth:`health` signals its
+    overload guard polls on the admission path.
+    """
+
+    def __init__(self, db, server=None) -> None:
         self.db = db
+        #: Attached serving layer (anything with a ``view() -> dict``).
+        self.server = server
+
+    def health(self) -> dict:
+        """Cheap live health signals for admission control.
+
+        Unlike :meth:`snapshot` this reads only O(1) state — counter
+        lookups and container lengths, no WAL or lock-table iteration — so
+        the serving layer can afford it on the request path, from threads
+        that do not hold the engine latch.  An untouched buffer pool
+        reports hit ratio 1.0 (idle is healthy, not thrashing).
+        """
+        db = self.db
+        hits = db.stats.get("buffer.hits")
+        misses = db.stats.get("buffer.misses")
+        touches = hits + misses
+        return {
+            "lock_waiters": db.txns.locks.waiter_count(),
+            "active_txns": len(db.txns.active),
+            "buffer_touches": touches,
+            "buffer_hit_ratio": hits / touches if touches else 1.0,
+        }
 
     def snapshot(self) -> MonitorSnapshot:
         """One consistent copy of current engine state."""
         db = self.db
         return MonitorSnapshot(
+            server=dict(self.server.view()) if self.server is not None
+            else {},
             buffer_pool=self._buffer_pool(),
             lock_table=self._lock_table(),
             wal=self._wal(),

@@ -161,6 +161,16 @@ class LockManager:
         return {resource: dict(holders)
                 for resource, holders in self._granted.items() if holders}
 
+    def waiter_count(self) -> int:
+        """Number of transactions currently recorded as waiting.
+
+        Unlike :meth:`waits_for_edges` this does not iterate the graph, so
+        it is safe to call from a monitoring thread without the engine
+        latch (``len`` of a dict is atomic under the GIL) — the serving
+        layer's overload guard reads it on the admission path.
+        """
+        return len(self._waits_for)
+
     def waits_for_edges(self) -> dict[int, frozenset[int]]:
         """Copy of the waits-for graph: ``{waiter: blockers}``."""
         return {waiter: frozenset(blockers)

@@ -16,14 +16,18 @@ manager's bounded :class:`AccountingLog` ring buffer.
 from __future__ import annotations
 
 import enum
+import itertools
+import threading
 from collections import Counter, deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.analyze import sanitize as _sanitize
+from repro.core.deadline import Deadline
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
-from repro.errors import DeadlockError, LockTimeoutError, TransactionError
+from repro.errors import (DeadlineExceededError, DeadlockError,
+                          LockTimeoutError, TransactionError)
 from repro.rdb.locks import LockManager, LockMode
 from repro.rdb.wal import LogManager, LogOp
 
@@ -118,17 +122,24 @@ class AccountingLog:
     Old records fall off the front once ``capacity`` is reached, like a
     wrapped trace dataset; ``emitted`` keeps the lifetime total so tooling
     can tell a quiet engine from a wrapped buffer.
+
+    The ring is thread-safe: concurrent sessions finish transactions on
+    different serving-layer workers, so emit/retract and the read side are
+    guarded by a lock (``retract`` in particular is a check-then-pop that
+    must be atomic against a racing ``emit``).
     """
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity
         self._ring: deque[AccountingRecord] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, record: AccountingRecord) -> None:
         """Append one record (dropping the oldest when full)."""
-        self._ring.append(record)
-        self.emitted += 1
+        with self._lock:
+            self._ring.append(record)
+            self.emitted += 1
 
     def retract(self, txn_id: int) -> AccountingRecord | None:
         """Remove and return the newest record if it belongs to ``txn_id``.
@@ -136,20 +147,23 @@ class AccountingLog:
         The retry machinery uses this to *fold* a victim attempt's record
         into its successor instead of leaving one record per attempt.
         """
-        if self._ring and self._ring[-1].txn_id == txn_id:
-            self.emitted -= 1
-            return self._ring.pop()
-        return None
+        with self._lock:
+            if self._ring and self._ring[-1].txn_id == txn_id:
+                self.emitted -= 1
+                return self._ring.pop()
+            return None
 
     def records(self) -> list[AccountingRecord]:
         """Buffered records, oldest first."""
-        return list(self._ring)
+        with self._lock:
+            return list(self._ring)
 
     def __len__(self) -> int:
-        return len(self._ring)
+        with self._lock:
+            return len(self._ring)
 
     def __iter__(self) -> Iterator[AccountingRecord]:
-        return iter(self._ring)
+        return iter(self.records())
 
 
 class Transaction:
@@ -168,6 +182,9 @@ class Transaction:
         #: machinery (``Database.run_in_txn``).
         self.retries = 0
         self.victim_attempts: tuple[int, ...] = ()
+        #: Request deadline (serving layer): checked between lock-wait
+        #: backoff steps; ``None`` means unbounded.
+        self.deadline: Deadline | None = None
 
     def charging(self):
         """Context manager attributing counter increments to this txn."""
@@ -189,6 +206,19 @@ class Transaction:
         waits-for cycle, :class:`~repro.errors.LockTimeoutError` once the
         budget runs out — so callers can tell a victim (retry after abort)
         from plain contention (wait longer or shed load).
+
+        With a request :class:`~repro.core.deadline.Deadline` attached to
+        the transaction (serving layer), the deadline caps the remaining
+        wait: an expired deadline aborts the wait immediately with
+        :class:`~repro.errors.DeadlineExceededError` (non-retryable, the
+        client ran out of time) instead of burning the rest of the budget.
+
+        Under a serving layer the manager's ``lock_wait_yield`` hook runs
+        between backoff steps with real-thread semantics: it releases the
+        engine latch and sleeps briefly so the lock *holder*'s session can
+        run on another worker and release the lock.  Without a server the
+        hook is ``None`` and the loop is the original single-threaded
+        simulated wait.
         """
         if self.try_lock(resource, mode):
             self._manager.stats.observe("lock.acquire_wait_steps", 0)
@@ -204,6 +234,12 @@ class Transaction:
                 raise DeadlockError(
                     f"txn {self.txn_id} is a deadlock victim on "
                     f"{resource!r} (cycle {sorted(cycle)})")
+            if self.deadline is not None and self.deadline.expired():
+                manager.locks.clear_waits(self.txn_id)
+                manager.stats.add("txn.deadline_exceeded")
+                raise DeadlineExceededError(
+                    f"txn {self.txn_id} ran out of deadline waiting for "
+                    f"{resource!r} after {waited} simulated wait steps")
             if waited >= budget:
                 manager.locks.clear_waits(self.txn_id)
                 manager.stats.add("txn.lock_timeouts")
@@ -213,6 +249,9 @@ class Transaction:
             waited += backoff
             manager.stats.add("lock.wait_steps", backoff)
             backoff = min(backoff * 2, max(1, manager.lock_backoff_cap))
+            yield_hook = manager.lock_wait_yield
+            if yield_hook is not None:
+                yield_hook()
             if self.try_lock(resource, mode):
                 manager.stats.observe("lock.acquire_wait_steps", waited)
                 return
@@ -294,14 +333,19 @@ class TransactionManager:
         #: released — the engine wires the buffer-pool quiesce sanitizer
         #: here (see :mod:`repro.analyze.sanitize`).
         self.on_txn_end: Callable[[Transaction], None] | None = None
+        #: optional hook run between lock-wait backoff steps — the serving
+        #: layer installs a latch-release-and-sleep here so that while one
+        #: session waits for a lock, the holder's session can run on
+        #: another worker thread and release it.  ``None`` (the default)
+        #: keeps the single-threaded simulated wait loop unchanged.
+        self.lock_wait_yield: Callable[[], None] | None = None
         self._commits_since_checkpoint = 0
-        self._next_id = 1
+        self._ids = itertools.count(1)
         self.active: dict[int, Transaction] = {}
 
     def begin(self, isolation: IsolationLevel = IsolationLevel.READ_COMMITTED
               ) -> Transaction:
-        txn = Transaction(self._next_id, self, isolation)
-        self._next_id += 1
+        txn = Transaction(next(self._ids), self, isolation)
         self.active[txn.txn_id] = txn
         with txn.charging():
             self.log.append(txn.txn_id, LogOp.BEGIN)

@@ -1,0 +1,383 @@
+"""The multi-client server: worker pool, engine latch, and request lifecycle.
+
+:class:`DatabaseServer` turns a single-threaded
+:class:`~repro.core.engine.Database` into a multi-client service the way
+DB2 for z/OS fronts its data engine with a thread pool: N worker threads
+(the concurrency tokens), a bounded admission queue, and per-client
+:class:`~repro.serve.session.Session` state.  The engine's internals stay
+single-threaded — every engine entry happens under ``Database.latch`` —
+and concurrency comes from *yielding* that latch exactly where a session
+sleeps anyway:
+
+* between lock-wait backoff steps (``TransactionManager.lock_wait_yield``),
+  so the session *holding* the contested lock can run on another worker
+  and release it; and
+* during victim-retry backoff (``Database.backoff_sleep``), so a backoff
+  never stalls unrelated sessions.
+
+Those are the only waits in the engine and both are bounded (wait budget,
+retry limit, request deadline), so workers can never deadlock against each
+other: every request finishes with a result or a typed error.
+
+The request lifecycle is fully accounted: ``serve.requests`` →
+(``serve.admitted`` | ``serve.shed_*``) → exactly one of
+``serve.completed`` / ``serve.failed`` / ``serve.deadline_expired``, with
+``serve.queue_wait_us`` and ``serve.request_us`` histograms for the
+latency report.  On drain the server rolls back abandoned session
+transactions and (with sanitizers armed) cross-checks that per-transaction
+accounting never over-charged the global counters — the invariant the
+thread-local accounting sinks exist to protect.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as _queue
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.analyze import sanitize as _sanitize
+from repro.core.deadline import Deadline
+from repro.errors import (DeadlineExceededError, DeadlockError,
+                          FaultInjectionError, LockTimeoutError,
+                          ServerClosedError, ServerOverloadedError)
+from repro.fault.injector import SimulatedCrash
+from repro.rdb.txn import TxnState
+from repro.obs.monitor import Monitor
+from repro.serve.admission import AdmissionController, OverloadGuard
+from repro.serve.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.engine import Database
+
+
+class _Request:
+    """One admitted unit of work and its completion state."""
+
+    __slots__ = ("session", "work", "label", "deadline", "submitted_ns",
+                 "done", "result", "error")
+
+    def __init__(self, session: Session | None,
+                 work: Callable[["Database"], Any], label: str,
+                 deadline: Deadline | None, submitted_ns: int) -> None:
+        self.session = session
+        self.work = work
+        self.label = label
+        self.deadline = deadline
+        self.submitted_ns = submitted_ns
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def finish(self, result: Any = None,
+               error: BaseException | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+    def wait(self) -> Any:
+        """Block until a worker finishes this request; raise its error."""
+        self.done.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class DatabaseServer:
+    """Thread-pool serving layer over one :class:`Database` (see module doc).
+
+    Use as a context manager (``with DatabaseServer(db) as server``) or
+    call :meth:`start` / :meth:`shutdown` explicitly.  Clients obtain a
+    :class:`Session` from :meth:`session` and issue requests through it;
+    each blocks its calling thread until the request completes or is shed.
+    """
+
+    #: Errors after which resubmitting the same request is sound: the
+    #: transaction was aborted cleanly (victim) or never started (shed).
+    RETRYABLE = (DeadlockError, LockTimeoutError, ServerOverloadedError)
+
+    def __init__(self, db: "Database",
+                 monitor: Monitor | None = None) -> None:
+        self.db = db
+        self.stats = db.stats
+        config = db.config
+        self.monitor = monitor if monitor is not None else Monitor(db)
+        self.monitor.server = self
+        self.workers = max(1, config.serve_workers)
+        self.admission = AdmissionController(
+            OverloadGuard(self.monitor, config, self.stats),
+            config.serve_queue_limit, self.stats)
+        self._threads: list[threading.Thread] = []
+        self._state = "new"  # new -> serving -> draining -> closed
+        self._state_lock = threading.Lock()
+        self._busy = 0
+        self._session_ids = itertools.count(1)
+        self._sessions: dict[int, Session] = {}
+        self._lock_yield = config.serve_lock_yield
+        #: First :class:`SimulatedCrash` a worker hit, if any (a crash
+        #: plan fired mid-request): the server stops admitting and the
+        #: harness re-raises it from :meth:`shutdown`.
+        self.crashed: SimulatedCrash | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "DatabaseServer":
+        """Install the engine yield hooks and start the worker pool."""
+        with self._state_lock:
+            if self._state != "new":
+                raise ServerClosedError(
+                    f"server cannot start from state {self._state!r}")
+            self._state = "serving"
+        self.db.txns.lock_wait_yield = self._yield_latch
+        self.db.backoff_sleep = self._latch_sleep
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the server; with ``drain`` finish queued work first.
+
+        Without ``drain`` every queued request fails immediately with
+        :class:`~repro.errors.ServerClosedError`.  Either way all workers
+        are joined, abandoned session transactions are rolled back, the
+        engine yield hooks are uninstalled (the database is usable
+        single-threaded again) and — with sanitizers armed — the
+        accounting over-charge cross-check runs.  Idempotent.
+        """
+        with self._state_lock:
+            if self._state in ("closed", "new"):
+                self._state = "closed"
+                return
+            self._state = "draining" if drain else "closed"
+        if not drain:
+            self._purge_queue()
+        for _ in self._threads:
+            self.admission.queue.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._threads.clear()
+        self._purge_queue()  # requests admitted after the sentinels
+        with self.db.latch:
+            for session in list(self._sessions.values()):
+                session.closed = True
+                self._rollback_abandoned(session)
+        self._sessions.clear()
+        self.db.txns.lock_wait_yield = None
+        self.db.backoff_sleep = None
+        with self._state_lock:
+            self._state = "closed"
+        if _sanitize.enabled():
+            _sanitize.check_accounting_caps(
+                self.stats, self.db.txns.accounting.records())
+        if self.crashed is not None:
+            raise self.crashed
+
+    def __enter__(self) -> "DatabaseServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    # -- sessions ----------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new client session."""
+        if self._state != "serving":
+            raise ServerClosedError(
+                f"server is {self._state}, not accepting sessions")
+        session = Session(self, next(self._session_ids))
+        self._sessions[session.session_id] = session
+        self.stats.add("serve.sessions_opened")
+        return session
+
+    def _release_session(self, session: Session) -> None:
+        """Session close: roll back its open txn directly under the latch.
+
+        Runs on the client's thread (not through the admission queue) so
+        sessions can still be closed while the server drains.
+        """
+        self._sessions.pop(session.session_id, None)
+        with self.db.latch:
+            self._rollback_abandoned(session)
+        self.stats.add("serve.sessions_closed")
+
+    @staticmethod
+    def _rollback_abandoned(session: Session) -> None:
+        txn = session.txn
+        session.txn = None
+        if txn is not None and txn.state is TxnState.ACTIVE:
+            txn.abort()
+
+    # -- request path ------------------------------------------------------
+
+    def resolve_deadline(self, deadline: "Deadline | float | None"
+                         ) -> Deadline | None:
+        """Normalize a client deadline: seconds → :class:`Deadline`,
+        ``None`` → the configured default (``serve_default_deadline``)."""
+        if deadline is None:
+            default = self.db.config.serve_default_deadline
+            return Deadline.after(default) if default > 0 else None
+        if isinstance(deadline, Deadline):
+            return deadline
+        return Deadline.after(float(deadline))
+
+    def submit(self, session: Session | None,
+               work: Callable[["Database"], Any], label: str,
+               deadline: Deadline | None) -> _Request:
+        """Admit one request (or shed it); returns without waiting."""
+        if self._state != "serving":
+            self.stats.add("serve.requests")
+            self.stats.add("serve.shed_closed")
+            raise ServerClosedError(
+                f"server is {self._state}; request {label!r} rejected")
+        request = _Request(session, work, label, deadline,
+                           time.monotonic_ns())
+        self.admission.admit(request)
+        return request
+
+    def call(self, session: Session | None,
+             work: Callable[["Database"], Any], label: str,
+             deadline: Deadline | None) -> Any:
+        """Admit one request and block until its outcome."""
+        return self.submit(session, work, label, deadline).wait()
+
+    @classmethod
+    def is_retryable(cls, error: BaseException) -> bool:
+        """Whether resubmitting after ``error`` is sound (victim/shed)."""
+        return isinstance(error, cls.RETRYABLE)
+
+    # -- worker internals --------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self.admission.queue.get()
+            if request is None:
+                return
+            self._busy += 1
+            try:
+                if not self._process(request):
+                    return
+            finally:
+                self._busy -= 1
+
+    def _process(self, request: _Request) -> bool:
+        """Run one request; False tells the worker to stop (crash)."""
+        queue_wait_us = (time.monotonic_ns() - request.submitted_ns) // 1000
+        self.stats.observe("serve.queue_wait_us", queue_wait_us)
+        if request.deadline is not None and request.deadline.expired():
+            self.stats.add("serve.deadline_expired")
+            request.finish(error=DeadlineExceededError(
+                f"request {request.label!r} spent its deadline in the "
+                f"admission queue ({queue_wait_us}us)"))
+            return True
+        try:
+            with self.db.latch:
+                result = request.work(self.db)
+        except SimulatedCrash as crash:
+            # A crash plan fired on this worker: the simulated process is
+            # dead.  Record it, stop admitting, and let shutdown re-raise.
+            if self.crashed is None:
+                self.crashed = crash
+            with self._state_lock:
+                if self._state == "serving":
+                    self._state = "draining"
+            request.finish(error=crash)
+            self._observe_request(request)
+            return False
+        except BaseException as error:
+            # The server/client boundary: every failure is marshalled to
+            # the waiting client thread, which re-raises it from
+            # ``_Request.wait`` — nothing is swallowed.  Non-``Exception``
+            # escapees (KeyboardInterrupt, SystemExit) additionally
+            # propagate here to take the worker down.
+            if not isinstance(error, Exception):
+                request.finish(error=error)
+                raise
+            if isinstance(error, DeadlineExceededError):
+                self.stats.add("serve.deadline_expired")
+            else:
+                self.stats.add("serve.failed")
+                if isinstance(error, FaultInjectionError):
+                    self.stats.add("serve.chaos_faults")
+            request.finish(error=error)
+        else:
+            self.stats.add("serve.completed")
+            request.finish(result=result)
+        self._observe_request(request)
+        return True
+
+    def _observe_request(self, request: _Request) -> None:
+        self.stats.observe(
+            "serve.request_us",
+            (time.monotonic_ns() - request.submitted_ns) // 1000)
+
+    def _purge_queue(self) -> None:
+        while True:
+            try:
+                request = self.admission.queue.get_nowait()
+            except _queue.Empty:
+                return
+            if request is None:
+                continue
+            self.stats.add("serve.shed_closed")
+            request.finish(error=ServerClosedError(
+                f"server shut down before request {request.label!r} ran"))
+
+    # -- latch yielding ----------------------------------------------------
+
+    def _yield_latch(self) -> None:
+        """Between lock-wait backoff steps: let the lock holder run."""
+        self._latch_sleep(self._lock_yield)
+
+    def _latch_sleep(self, delay: float) -> None:
+        """Sleep ``delay`` seconds with the engine latch released.
+
+        Called from engine code on a worker thread that holds the latch
+        exactly once.  Falls back to a plain sleep if the calling thread
+        does not own the latch (an engine used directly while a server is
+        attached — supported but single-threaded).
+        """
+        try:
+            self.db.latch.release()
+        except RuntimeError:
+            if delay > 0:
+                time.sleep(delay)
+            return
+        try:
+            if delay > 0:
+                time.sleep(delay)
+            else:
+                time.sleep(0)
+        finally:
+            self.db.latch.acquire()
+
+    # -- monitoring --------------------------------------------------------
+
+    def view(self) -> dict:
+        """Live server state for ``Monitor`` (DISPLAY THREAD analogue)."""
+        stats = self.stats
+        return {
+            "state": self._state,
+            "workers": self.workers,
+            "busy": self._busy,
+            "queue_depth": self.admission.depth(),
+            "queue_limit": self.admission.queue.maxsize,
+            "sessions_open": len(self._sessions),
+            "requests": stats.get("serve.requests"),
+            "admitted": stats.get("serve.admitted"),
+            "completed": stats.get("serve.completed"),
+            "failed": stats.get("serve.failed"),
+            "deadline_expired": stats.get("serve.deadline_expired"),
+            "shed": (stats.get("serve.shed_queue_full")
+                     + stats.get("serve.shed_overload")
+                     + stats.get("serve.shed_closed")),
+        }

@@ -1,0 +1,298 @@
+"""Per-client sessions: transaction state and a prepared-statement cache.
+
+A :class:`Session` is the serving layer's unit of client state — the
+analogue of a DB2 *thread* bound to one connection.  It owns
+
+* the session's **transaction state**: at most one explicit transaction at
+  a time, begun with :meth:`Session.begin`, operated on across requests
+  with :meth:`Session.execute`, and ended with :meth:`Session.commit` /
+  :meth:`Session.rollback`.  Locks are held *between* requests, which is
+  where real multi-session contention comes from; and
+* a bounded LRU **statement cache**: :meth:`Session.prepare` interns a
+  (table, column, path, namespaces) statement, and the first execution
+  plans it once through :meth:`~repro.core.engine.Database.plan_xpath`
+  (whose parse/compile steps already hit the global caches in
+  :mod:`repro.xpath.cache`); later executions replay the stored
+  :class:`~repro.query.plan.AccessPlan` via ``Database.execute_plan``.
+
+A session object is *not* itself thread-safe — it models one client
+connection, and one client issues one request at a time.  All engine work
+happens on server worker threads; the session only builds closures and
+waits on the request outcome.
+
+Every request body fires the ``serve.request`` fault point when the engine
+carries an injector, so chaos plans (``FaultPlan.fail_at``) can kill
+exactly one session's transaction mid-flight while the rest keep serving.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ServerClosedError, TransactionError
+from repro.rdb.locks import LockMode
+from repro.rdb.txn import IsolationLevel, Transaction, TxnState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deadline import Deadline
+    from repro.core.engine import Database, XPathResult
+    from repro.query.plan import AccessPlan
+    from repro.serve.server import DatabaseServer
+
+
+@dataclass
+class PreparedStatement:
+    """One cached statement: identity plus its lazily built access plan."""
+
+    table: str
+    column: str
+    path: str
+    namespaces: tuple[tuple[str, str], ...] = ()
+    #: Built under the engine latch on first execution; dropped by
+    #: :meth:`Session.invalidate` after DDL.
+    plan: "AccessPlan | None" = field(default=None, compare=False)
+
+    @property
+    def namespace_map(self) -> dict[str, str] | None:
+        return dict(self.namespaces) if self.namespaces else None
+
+
+class Session:
+    """One client's server-side state (see module docstring)."""
+
+    def __init__(self, server: "DatabaseServer", session_id: int) -> None:
+        self._server = server
+        self.session_id = session_id
+        self.closed = False
+        #: The session's explicit transaction, if one is open.  Only
+        #: touched by worker threads while they hold the engine latch.
+        self.txn: Transaction | None = None
+        self._stmts: OrderedDict[tuple, PreparedStatement] = OrderedDict()
+        self._stmt_limit = max(1, server.db.config.serve_stmt_cache_size)
+
+    # -- statement cache ---------------------------------------------------
+
+    def prepare(self, table: str, column: str, path: str,
+                namespaces: dict[str, str] | None = None
+                ) -> PreparedStatement:
+        """Intern a statement in the session's LRU cache (no engine work)."""
+        ns = tuple(sorted((namespaces or {}).items()))
+        key = (table, column, path, ns)
+        stats = self._server.stats
+        stmt = self._stmts.get(key)
+        if stmt is not None:
+            self._stmts.move_to_end(key)
+            stats.add("serve.stmt_hits")
+            return stmt
+        stats.add("serve.stmt_misses")
+        stmt = PreparedStatement(table, column, path, ns)
+        self._stmts[key] = stmt
+        while len(self._stmts) > self._stmt_limit:
+            self._stmts.popitem(last=False)
+        return stmt
+
+    def invalidate(self) -> None:
+        """Drop cached plans (call after DDL; statements re-plan lazily)."""
+        for stmt in self._stmts.values():
+            stmt.plan = None
+
+    # -- auto-commit requests ----------------------------------------------
+
+    def run(self, body: Callable[["Database", Transaction], Any],
+            isolation: IsolationLevel | None = None,
+            deadline: "Deadline | float | None" = None,
+            label: str = "run") -> Any:
+        """One auto-commit request: ``body(db, txn)`` via ``run_in_txn``.
+
+        The engine's victim-retry machinery applies (with jittered
+        backoff); the request deadline caps both lock waits and retry
+        backoff.  Blocks until the request finishes or is shed.
+        """
+        self._check_open()
+        resolved = self._server.resolve_deadline(deadline)
+
+        def work(db: "Database") -> Any:
+            return db.run_in_txn(self._chaos_wrap(body),
+                                 isolation=isolation, deadline=resolved)
+
+        return self._server.call(self, work, label, resolved)
+
+    def query(self, table: str, column: str, path: str,
+              namespaces: dict[str, str] | None = None,
+              deadline: "Deadline | float | None" = None
+              ) -> "list[XPathResult]":
+        """Auto-commit XPath query through the prepared-statement cache.
+
+        Takes a table-level IS intent lock (readers coexist with other
+        readers and with IX writers; DocID-level conflicts are left to the
+        caller's explicit locks, as in §5.1's granular scheme).
+        """
+        stmt = self.prepare(table, column, path, namespaces)
+
+        def body(db: "Database", txn: Transaction) -> "list[XPathResult]":
+            txn.lock(("table", stmt.table), LockMode.IS)
+            if stmt.plan is None:
+                stmt.plan = db.plan_xpath(stmt.table, stmt.column, stmt.path,
+                                          stmt.namespace_map)
+            return db.execute_plan(stmt.table, stmt.column, stmt.plan)
+
+        return self.run(body, deadline=deadline,
+                        label=f"query:{stmt.path}")
+
+    def insert(self, table: str, row: tuple,
+               deadline: "Deadline | float | None" = None) -> Any:
+        """Auto-commit insert under a table-level IX intent lock."""
+
+        def body(db: "Database", txn: Transaction) -> Any:
+            txn.lock(("table", table), LockMode.IX)
+            return db.insert(table, row, txn_id=txn.txn_id)
+
+        return self.run(body, deadline=deadline, label=f"insert:{table}")
+
+    # -- explicit transactions ---------------------------------------------
+
+    def begin(self, isolation: IsolationLevel | None = None,
+              deadline: "Deadline | float | None" = None) -> int:
+        """Open the session's explicit transaction; returns its txn id.
+
+        The transaction's locks persist across requests until
+        :meth:`commit` / :meth:`rollback` — each subsequent
+        :meth:`execute` carries its own deadline for its own lock waits.
+        """
+        self._check_open()
+        resolved = self._server.resolve_deadline(deadline)
+
+        def work(db: "Database") -> int:
+            if self.txn is not None:
+                raise TransactionError(
+                    f"session {self.session_id} already has txn "
+                    f"{self.txn.txn_id} open")
+            self.txn = db.txns.begin(
+                isolation or IsolationLevel.READ_COMMITTED)
+            return self.txn.txn_id
+
+        return self._server.call(self, work, "begin", resolved)
+
+    def execute(self, body: Callable[["Database", Transaction], Any],
+                deadline: "Deadline | float | None" = None,
+                label: str = "execute") -> Any:
+        """One request inside the session's explicit transaction.
+
+        Any engine error (deadlock, lock timeout, expired deadline,
+        injected fault, ...) aborts the transaction — its locks are gone
+        and the session has no open transaction afterwards; the error
+        propagates so the client can classify it (see
+        :meth:`DatabaseServer.is_retryable`) and re-begin if appropriate.
+        """
+        self._check_open()
+        resolved = self._server.resolve_deadline(deadline)
+
+        def work(db: "Database") -> Any:
+            txn = self._require_txn()
+            txn.deadline = resolved
+            try:
+                with txn.charging():
+                    return self._chaos_wrap(body)(db, txn)
+            except BaseException:
+                self._abandon_txn()
+                raise
+            finally:
+                txn.deadline = None
+
+        return self._server.call(self, work, label, resolved)
+
+    def lock(self, resource: object, mode: LockMode = LockMode.X,
+             deadline: "Deadline | float | None" = None) -> None:
+        """Explicitly lock ``resource`` inside the open transaction."""
+        self.execute(lambda db, txn: txn.lock(resource, mode),
+                     deadline=deadline, label=f"lock:{resource!r}")
+
+    def commit(self, deadline: "Deadline | float | None" = None) -> None:
+        """Commit the session's explicit transaction."""
+        self._check_open()
+        resolved = self._server.resolve_deadline(deadline)
+
+        def work(db: "Database") -> None:
+            txn = self._require_txn()
+            self.txn = None
+            try:
+                txn.commit()
+            except BaseException:
+                # A commit that failed mid-flight (e.g. an injected log
+                # fault) must not leak an active transaction holding
+                # locks: abort it, then report the original failure.
+                if txn.state is TxnState.ACTIVE:
+                    txn.abort()
+                raise
+
+        self._server.call(self, work, "commit", resolved)
+
+    def rollback(self, deadline: "Deadline | float | None" = None) -> None:
+        """Abort the session's explicit transaction (no-op if none open)."""
+        self._check_open()
+        resolved = self._server.resolve_deadline(deadline)
+
+        def work(db: "Database") -> None:
+            txn = self.txn
+            self.txn = None
+            if txn is not None:
+                txn.abort()
+
+        self._server.call(self, work, "rollback", resolved)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the session: roll back any open transaction.
+
+        Idempotent; also callable while the server drains (rollback runs
+        engine-side during shutdown, not through the admission queue).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._server._release_session(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _chaos_wrap(self, body: Callable[["Database", Transaction], Any]
+                    ) -> Callable[["Database", Transaction], Any]:
+        """Fire the ``serve.request`` fault point before the real body."""
+
+        def wrapped(db: "Database", txn: Transaction) -> Any:
+            if db.injector is not None:
+                db.injector.hit("serve.request")
+            return body(db, txn)
+
+        return wrapped
+
+    def _require_txn(self) -> Transaction:
+        if self.txn is None:
+            raise TransactionError(
+                f"session {self.session_id} has no open transaction")
+        return self.txn
+
+    def _abandon_txn(self) -> None:
+        """Abort and forget the explicit txn after a failed request."""
+        txn = self.txn
+        self.txn = None
+        if txn is not None and txn.state is TxnState.ACTIVE:
+            txn.abort()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ServerClosedError(
+                f"session {self.session_id} is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else \
+            (f"txn {self.txn.txn_id}" if self.txn else "idle")
+        return f"Session({self.session_id}, {state})"

@@ -1,0 +1,85 @@
+"""Admission controller and overload-guard unit tests."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.engine import Database
+from repro.core.stats import StatsRegistry
+from repro.errors import ServerOverloadedError
+from repro.obs.monitor import Monitor
+from repro.rdb.locks import LockMode
+from repro.serve.admission import AdmissionController, OverloadGuard
+
+
+def make_guard(db, **overrides):
+    from dataclasses import replace
+    config = replace(DEFAULT_CONFIG, **overrides)
+    return OverloadGuard(Monitor(db), config, db.stats)
+
+
+class TestOverloadGuard:
+    def test_disabled_thresholds_never_shed(self):
+        db = Database()
+        guard = make_guard(db)
+        assert all(guard.check() is None for _ in range(50))
+        # With no thresholds configured the guard does not even read the
+        # health signals.
+        assert db.stats.get("serve.overload_checks") == 0
+
+    def test_lock_waiter_threshold(self):
+        db = Database()
+        guard = make_guard(db, serve_shed_lock_waiters=1,
+                           serve_shed_check_interval=1)
+        assert guard.check() is None
+        holder = db.txns.begin()
+        assert holder.try_lock("r", LockMode.X)
+        for _ in range(2):
+            waiter = db.txns.begin()
+            assert not waiter.try_lock("r", LockMode.X)
+        verdict = guard.check()
+        assert verdict is not None and "lock table congested" in verdict
+        assert db.stats.get("serve.overload_checks") >= 2
+
+    def test_hit_ratio_threshold_needs_min_touches(self):
+        db = Database()
+        guard = make_guard(db, serve_shed_min_hit_ratio=0.99,
+                           serve_shed_min_touches=10_000,
+                           serve_shed_check_interval=1)
+        # A cold engine has not reached min_touches: healthy by fiat.
+        assert guard.check() is None
+
+    def test_verdict_cached_between_intervals(self):
+        db = Database()
+        guard = make_guard(db, serve_shed_lock_waiters=1,
+                           serve_shed_check_interval=10)
+        for _ in range(10):
+            guard.check()
+        # 10 calls, interval 10: health evaluated once (on the first).
+        assert db.stats.get("serve.overload_checks") == 1
+
+
+class TestAdmissionController:
+    def test_queue_full_sheds_with_typed_error(self):
+        stats = StatsRegistry()
+        db = Database()
+        controller = AdmissionController(make_guard(db), queue_limit=2,
+                                         stats=stats)
+        controller.admit("a")
+        controller.admit("b")
+        with pytest.raises(ServerOverloadedError, match="queue full"):
+            controller.admit("c")
+        assert stats.get("serve.requests") == 3
+        assert stats.get("serve.admitted") == 2
+        assert stats.get("serve.shed_queue_full") == 1
+
+    def test_admission_counters_are_disjoint(self):
+        stats = StatsRegistry()
+        db = Database()
+        controller = AdmissionController(make_guard(db), queue_limit=1,
+                                         stats=stats)
+        controller.admit("a")
+        for _ in range(3):
+            with pytest.raises(ServerOverloadedError):
+                controller.admit("x")
+        assert stats.get("serve.requests") == \
+            stats.get("serve.admitted") + stats.get("serve.shed_queue_full")

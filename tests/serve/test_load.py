@@ -1,0 +1,70 @@
+"""Load-harness tests: the 100-client invariant run and induced overload."""
+
+from dataclasses import replace
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.serve.loadgen import (LoadHarness, build_database, run_load,
+                                 serving_config)
+from repro.serve.server import DatabaseServer
+
+
+class TestLoadHarness:
+    def test_hundred_concurrent_clients_verified(self):
+        """The acceptance run: >= 100 clients, mixed read/write workload,
+        zero lost or duplicated committed transactions (checked against
+        both the base table and the accounting records), latency report
+        populated, clean drain."""
+        report = run_load(clients=100, ops_per_client=3, seed=11,
+                          workers=8, queue_limit=512, deadline=30.0)
+        assert report.verified, report.verify_errors
+        assert not report.failures
+        assert report.committed_inserts > 0
+        assert report.hot_commits + report.timed_out + \
+            report.deadline_expired > 0
+        assert report.p50_request_us > 0
+        assert report.p99_request_us >= report.p50_request_us
+        assert report.counters["serve.requests"] >= 300
+
+    def test_overload_sheds_and_still_verifies(self):
+        """A starved server (1 worker, tiny queue) sheds most of the load
+        with ServerOverloadedError but never loses or duplicates a commit
+        and still drains cleanly."""
+        report = run_load(clients=40, ops_per_client=3, seed=5,
+                          workers=1, queue_limit=2, deadline=30.0)
+        assert report.shed > 0
+        assert report.counters.get("serve.shed_queue_full", 0) > 0
+        assert report.verified, report.verify_errors
+        assert not report.failures
+
+    def test_deadlines_expire_under_pressure(self):
+        """With millisecond deadlines some requests must run out of time —
+        and expire with the typed error, not a generic failure."""
+        report = run_load(clients=30, ops_per_client=3, seed=9,
+                          workers=2, queue_limit=256, deadline=0.002)
+        assert report.deadline_expired > 0
+        assert not report.failures
+        assert report.verified, report.verify_errors
+
+    def test_overload_guard_sheds_on_lock_waiters(self):
+        """The monitor-driven guard: many waiting transactions flip the
+        health verdict and admission sheds before the queue fills."""
+        config = serving_config(
+            20, 3, serve_workers=2, serve_queue_limit=1024,
+            serve_shed_lock_waiters=1, serve_shed_check_interval=1,
+            lock_wait_budget=4096)
+        db, hot_ids = build_database(config)
+        server = DatabaseServer(db).start()
+        harness = LoadHarness(db, server, hot_ids)
+        report = harness.run(20, 3, seed=2, deadline=30.0)
+        assert report.verified, report.verify_errors
+        # Either the guard fired (preferred) or the run was too fast to
+        # congest — but the guard must at least have been consulted.
+        assert db.stats.get("serve.overload_checks") > 0
+        db.close()
+
+    def test_report_round_trips_to_json(self):
+        import json
+        report = run_load(clients=8, ops_per_client=2, seed=1, workers=2)
+        rendered = json.loads(json.dumps(report.to_dict()))
+        assert rendered["clients"] == 8
+        assert "latency_us" in rendered

@@ -1,0 +1,202 @@
+"""End-to-end serving-layer tests: sessions, statements, drain, monitor."""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.engine import Database
+from repro.errors import ServerClosedError, TransactionError
+from repro.obs.monitor import Monitor
+from repro.rdb.locks import LockMode
+from repro.serve import DatabaseServer
+
+DOC = "<Product><Name>widget {i}</Name><Price>{i}</Price></Product>"
+
+
+def make_db(**overrides):
+    config = replace(DEFAULT_CONFIG, checkpoint_interval=0, **overrides)
+    db = Database(config)
+    db.create_table("docs", [("key", "varchar"), ("doc", "xml")])
+    return db
+
+
+class TestServing:
+    def test_auto_commit_insert_and_query(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            with server.session() as session:
+                for i in range(4):
+                    session.insert("docs", (f"k{i}", DOC.format(i=i)))
+                out = session.query("docs", "doc", "/Product/Name")
+        assert len(out) == 4
+        assert db.stats.get("serve.completed") == 5
+        assert db.stats.get("serve.failed") == 0
+        # The engine is single-threaded again after shutdown.
+        assert db.txns.lock_wait_yield is None and db.backoff_sleep is None
+        assert len(db.xpath("docs", "doc", "/Product")) == 4
+
+    def test_many_concurrent_client_threads(self):
+        db = make_db(serve_workers=4, serve_queue_limit=256)
+        errors = []
+
+        def client(index):
+            try:
+                with server.session() as session:
+                    session.insert("docs", (f"c{index}",
+                                            DOC.format(i=index)))
+                    session.query("docs", "doc", "/Product/Name")
+            except Exception as error:  # noqa: BLE001 - tally any failure
+                errors.append(error)
+
+        with DatabaseServer(db) as server:
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(32)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert db.tables["docs"].row_count == 32
+        assert db.stats.get("serve.sessions_opened") == 32
+        assert db.stats.get("serve.sessions_closed") == 32
+
+    def test_statement_cache_hits_and_lru(self):
+        db = make_db(serve_stmt_cache_size=2)
+        with DatabaseServer(db) as server:
+            session = server.session()
+            session.insert("docs", ("k", DOC.format(i=1)))
+            for _ in range(3):
+                session.query("docs", "doc", "/Product/Name")
+            assert db.stats.get("serve.stmt_hits") == 2
+            # Two more statements evict /Product/Name (cache size 2) ...
+            session.query("docs", "doc", "/Product/Price")
+            session.query("docs", "doc", "/Product")
+            session.query("docs", "doc", "/Product/Name")
+            # ... so its fourth use re-plans: 4 misses total, 2 hits.
+            assert db.stats.get("serve.stmt_misses") == 4
+
+    def test_prepared_plan_reused_until_invalidate(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            session = server.session()
+            session.insert("docs", ("k", DOC.format(i=1)))
+            session.query("docs", "doc", "/Product/Name")
+            stmt = session.prepare("docs", "doc", "/Product/Name")
+            assert stmt.plan is not None
+            session.invalidate()
+            assert stmt.plan is None
+            assert session.query("docs", "doc", "/Product/Name")
+
+    def test_explicit_txn_holds_locks_across_requests(self):
+        db = make_db(serve_workers=2)
+        with DatabaseServer(db) as server:
+            holder = server.session()
+            holder.begin()
+            holder.lock(("doc", "docs", 1), LockMode.X)
+            other = server.session()
+            other.begin()
+            assert db.txns.locks.locks_held(holder.txn.txn_id) == 1
+            # The other session can take a different resource at once.
+            other.lock(("doc", "docs", 2), LockMode.X)
+            other.commit()
+            holder.commit()
+        assert db.stats.get("serve.failed") == 0
+
+    def test_explicit_txn_contention_resolves(self):
+        """Two sessions fight over one lock; the waiter wins after commit."""
+        db = make_db(serve_workers=2, lock_wait_budget=4096)
+        with DatabaseServer(db) as server:
+            holder = server.session()
+            holder.begin()
+            holder.lock(("doc", "docs", 7), LockMode.X)
+            got_lock = threading.Event()
+
+            def waiter():
+                with server.session() as session:
+                    session.begin()
+                    session.lock(("doc", "docs", 7), LockMode.X)
+                    got_lock.set()
+                    session.commit()
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            assert not got_lock.wait(timeout=0.05)
+            holder.commit()  # releases the lock; the waiter proceeds
+            thread.join(timeout=10)
+            assert got_lock.is_set()
+
+    def test_begin_twice_is_an_error(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            session = server.session()
+            session.begin()
+            with pytest.raises(TransactionError, match="already has txn"):
+                session.begin()
+            session.rollback()
+
+    def test_session_close_rolls_back_open_txn(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            session = server.session()
+            session.begin()
+
+            def locked_insert(database, txn):
+                return database.insert("docs", ("gone", DOC.format(i=0)),
+                                       txn_id=txn.txn_id)
+
+            session.execute(locked_insert)
+            session.close()
+        assert db.tables["docs"].row_count == 0
+        assert db.stats.get("txn.aborts") == 1
+
+    def test_shutdown_rolls_back_abandoned_txns(self):
+        db = make_db()
+        server = DatabaseServer(db).start()
+        session = server.session()
+        session.begin()
+        session.execute(lambda database, txn: database.insert(
+            "docs", ("orphan", DOC.format(i=0)), txn_id=txn.txn_id))
+        server.shutdown()
+        assert db.tables["docs"].row_count == 0
+        assert not db.txns.active
+
+    def test_requests_after_shutdown_are_rejected(self):
+        db = make_db()
+        server = DatabaseServer(db).start()
+        session = server.session()
+        server.shutdown()
+        # The session was closed by the drain: its front door rejects.
+        with pytest.raises(ServerClosedError):
+            session.insert("docs", ("late", DOC.format(i=0)))
+        # A raw request against the stopped server is shed with the
+        # typed error and counted.
+        with pytest.raises(ServerClosedError):
+            server.call(None, lambda database: None, "late", None)
+        assert db.stats.get("serve.shed_closed") == 1
+        server.shutdown()  # idempotent
+
+    def test_monitor_exposes_server_section(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            server.session().insert("docs", ("k", DOC.format(i=1)))
+            snap = server.monitor.snapshot()
+            assert snap.server["state"] == "serving"
+            assert snap.server["workers"] == db.config.serve_workers
+            assert snap.server["completed"] == 1
+            assert "=== SERVER ===" in snap.format()
+            assert "server" in snap.to_dict()
+        health = server.monitor.health()
+        assert health["lock_waiters"] == 0
+        assert 0.0 <= health["buffer_hit_ratio"] <= 1.0
+
+    def test_latency_histograms_populated(self):
+        db = make_db()
+        with DatabaseServer(db) as server:
+            with server.session() as session:
+                for i in range(3):
+                    session.insert("docs", (f"k{i}", DOC.format(i=i)))
+        for name in ("serve.request_us", "serve.queue_wait_us"):
+            hist = db.stats.histogram(name)
+            assert hist is not None and hist.count == 3
