@@ -13,9 +13,18 @@ perf-affecting change diffs against (``python -m repro.obs.report
 BENCH_baseline.json`` renders it)::
 
     PYTHONPATH=src python benchmarks/export_baseline.py [output.json]
+
+Besides the deterministic artifact, the export runs two timed *commit-path
+scenarios* on separate engine instances — ``commits_per_sec`` (the same
+insert stream committed with per-commit forcing vs. group commit) and
+``wal_bytes_per_commit`` — recorded under the artifact's ``scenarios``
+key.  Wall-clock numbers vary by machine, so the CI drift gate compares
+only ``counters``/``gauges``/``histograms`` and ignores ``scenarios``.
 """
 
 import sys
+import time
+from dataclasses import replace
 
 from repro.core.config import EngineConfig
 from repro.core.engine import Database
@@ -80,6 +89,55 @@ def run_workload(db: Database) -> None:
     db.checkpoint()
 
 
+#: Commits per timed commit-path scenario run.
+SCENARIO_COMMITS = 64
+
+
+def _commit_scenario(group_commit: bool) -> dict:
+    """Time ``SCENARIO_COMMITS`` single-insert commits on a fresh engine.
+
+    Runs on its own :class:`Database` (own stats) so scenario counters
+    never leak into the deterministic baseline artifact.
+    """
+    config = replace(BASELINE_CONFIG, txn_group_commit=group_commit)
+    db = Database(config)
+    db.create_table("bench", [("id", "bigint"), ("doc", "xml")])
+    started = time.perf_counter()
+    for i in range(SCENARIO_COMMITS):
+        db.run_in_txn(lambda eng, txn, i=i: eng.insert(
+            "bench", (i, _document(i)), txn_id=txn.txn_id))
+    elapsed = time.perf_counter() - started
+    counters = db.stats.counters()
+    db.close()
+    return {
+        "commits": SCENARIO_COMMITS,
+        "wall_seconds": round(elapsed, 6),
+        "commits_per_sec": round(SCENARIO_COMMITS / elapsed, 1)
+        if elapsed > 0 else 0.0,
+        "wal_bytes": counters.get("wal.bytes", 0),
+        "wal_forces": counters.get("wal.flushes", 0),
+        "group_commits": counters.get("wal.group_commits", 0),
+    }
+
+
+def run_scenarios() -> dict:
+    """Commit-path scenarios (timed; excluded from the CI drift gate)."""
+    single = _commit_scenario(group_commit=False)
+    grouped = _commit_scenario(group_commit=True)
+    return {
+        "commits_per_sec": {
+            "single_commit": single,
+            "group_commit": grouped,
+        },
+        "wal_bytes_per_commit": {
+            "single_commit": round(
+                single["wal_bytes"] / single["commits"], 1),
+            "group_commit": round(
+                grouped["wal_bytes"] / grouped["commits"], 1),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     out = argv[0] if argv else "BENCH_baseline.json"
@@ -94,12 +152,17 @@ def main(argv: list[str] | None = None) -> int:
             "record_size_limit": BASELINE_CONFIG.record_size_limit,
         },
     }
+    artifact["scenarios"] = run_scenarios()
     write_metrics_json(artifact, out)
     counters = artifact["counters"]
+    rate = artifact["scenarios"]["commits_per_sec"]
     print(f"wrote {out}: {len(counters)} counters, "
           f"{len(artifact['histograms'])} histograms, "
           f"{len(artifact['accounting'])} accounting records, "
           f"{len(artifact['slow_queries'])} slow queries")
+    print(f"commits/sec: single "
+          f"{rate['single_commit']['commits_per_sec']}, group "
+          f"{rate['group_commit']['commits_per_sec']}")
     return 0
 
 

@@ -48,7 +48,7 @@ ACQUIRES_PREFIX = "acquires_lock:"
 
 _PIN_METHODS = {"fetch", "new_page"}
 _ACQUIRE_METHODS = {"try_acquire": 1, "lock": 0, "try_lock": 0}
-_WAL_METHODS = {"append", "checkpoint", "log"}
+_WAL_METHODS = {"append", "checkpoint", "log", "flush"}
 _FLUSH_METHODS = {"flush_page", "flush_all"}
 
 

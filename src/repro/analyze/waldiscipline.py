@@ -34,6 +34,9 @@ from repro.analyze.framework import Checker, Program, SourceModule, call_name
 
 _FLUSH_METHODS = {"flush_page", "flush_all"}
 #: calls that harden the log (or are the log-hardening path itself).
+#: ``flush`` counts only on a log receiver (``*.log.flush()``) — see
+#: :meth:`WalDisciplineChecker._dominator_positions` — because ``flush``
+#: on anything else (a file, a socket) does not harden the WAL.
 _LOG_METHODS = {"append", "checkpoint", "log"}
 
 #: the pool's own module owns the flush primitives.
@@ -130,7 +133,9 @@ class WalDisciplineChecker(Checker):
         """Positions of every call that hardens the log in ``info``."""
         positions: list[tuple[int, int]] = []
         for call in self._own_calls(info):
-            if call_name(call) in _LOG_METHODS:
+            name = call_name(call)
+            if name in _LOG_METHODS or \
+                    (name == "flush" and fx.is_log_receiver(call)):
                 positions.append((call.lineno, call.col_offset))
         for site in graph.callees_of.get(info.fid, []):
             if summaries.has(site.callee.fid, fx.WRITES_WAL):

@@ -44,9 +44,31 @@ class EngineConfig:
             loop).  ``base`` 0 disables backoff entirely.
         txn_retry_jitter_seed: Seed for the per-engine backoff-jitter RNG,
             making retry delays reproducible in tests.
+        txn_group_commit: Enable WAL group commit: COMMIT records from
+            concurrent transactions are hardened by one shared log force
+            per window (leader/follower protocol, DB2's log-latch
+            batching) instead of one force per commit.  Off, every append
+            auto-flushes — the classic single-threaded discipline.
+        txn_group_commit_window: Seconds the group-commit leader waits
+            (engine latch yielded) for companion committers before
+            forcing the log.
+        txn_group_commit_max: Commits that force the group early, before
+            the window expires (bounds both latency and group size).
         checkpoint_interval: Commits between automatic WAL checkpoints
             (0 disables automatic checkpointing; ``Database.checkpoint``
             is always available).
+        ckpt_background: Run a background checkpointer/lazy-writer thread
+            under the serving layer: automatic checkpoints are *requested*
+            from it (committing threads no longer stall on flush-all), and
+            between checkpoints it trickles old dirty pages out (DB2's
+            castout engines).
+        ckpt_interval_seconds: Idle period between background lazy-writer
+            cycles.
+        ckpt_trickle_pages: Most dirty pages one lazy-writer cycle writes
+            back.  Victims are dirty unpinned frames whose residency age
+            has reached the ``buffer.eviction_residency`` histogram median
+            — pages old enough that eviction would soon write them
+            synchronously anyway.
         mvcc_retained_versions: How many committed document versions the
             versioned NodeID index keeps before garbage collection.
         validate_on_insert: Whether document inserts run schema validation
@@ -102,7 +124,13 @@ class EngineConfig:
     txn_retry_backoff_base: float = 0.001
     txn_retry_backoff_cap: float = 0.05
     txn_retry_jitter_seed: int = 0
+    txn_group_commit: bool = False
+    txn_group_commit_window: float = 0.002
+    txn_group_commit_max: int = 64
     checkpoint_interval: int = 0
+    ckpt_background: bool = False
+    ckpt_interval_seconds: float = 0.005
+    ckpt_trickle_pages: int = 8
     mvcc_retained_versions: int = 4
     validate_on_insert: bool = True
     accounting_ring_size: int = 256

@@ -46,7 +46,8 @@ from repro.rdb.table import Table
 from repro.rdb.tablespace import Rid
 from repro.rdb.txn import IsolationLevel, TransactionManager, TxnState
 from repro.rdb.values import SqlType
-from repro.rdb.wal import LogManager, LogOp, replay as wal_replay
+from repro.rdb.wal import (GroupCommitter, LogManager, LogOp,
+                           replay as wal_replay)
 from repro.xdm.serializer import serialize
 from repro.xmlstore.store import XmlStore
 from repro.xmlstore.update import XmlUpdater
@@ -107,7 +108,8 @@ class Database:
         self.disk = disk
         self.pool = BufferPool(self.disk, capacity=config.buffer_pool_pages)
         self.catalog = Catalog()
-        self.log = LogManager(stats=self.stats, injector=injector)
+        self.log = LogManager(stats=self.stats, injector=injector,
+                              auto_flush=not config.txn_group_commit)
         self.txns = TransactionManager(
             log=self.log, stats=self.stats,
             lock_wait_budget=config.lock_wait_budget,
@@ -117,6 +119,17 @@ class Database:
             on_checkpoint=self.pool.flush_all,
             accounting_size=config.accounting_ring_size)
         self.txns.on_txn_end = self._sanitize_txn_end
+        #: Group committer (``config.txn_group_commit``): commits are
+        #: hardened by shared window forces; the serving layer installs
+        #: its latch-yielding wait hook so a leader can actually collect
+        #: companions.  ``None`` keeps the auto-flush-per-append path.
+        self.group_commit: GroupCommitter | None = None
+        if config.txn_group_commit:
+            self.group_commit = GroupCommitter(
+                self.log, self.stats,
+                window=config.txn_group_commit_window,
+                max_group=config.txn_group_commit_max)
+            self.txns.group_commit = self.group_commit
         #: Slow-query ring buffer (see ``EngineConfig.slow_query_*``).
         self.slow_queries = SlowQueryLog(config.slow_query_log_size)
         self._slow_thresholds = config.slow_query_thresholds()

@@ -35,8 +35,14 @@ METRICS: frozenset[str] = frozenset({
     "ts.records_deleted", "ts.bytes_touched",
     # write-ahead log and recovery
     "wal.records", "wal.bytes", "wal.checkpoints",
+    # group commit: log forces, groups formed, leader/follower split
+    "wal.flushes", "wal.group_commits", "wal.group_leads",
+    "wal.group_follows",
     "recovery.replayed", "recovery.torn_tail_dropped",
     "recovery.from_checkpoint",
+    # background checkpointer / lazy writer
+    "ckpt.cycles", "ckpt.trickle_pages", "ckpt.background_checkpoints",
+    "ckpt.requests",
     # lock manager
     "lock.acquired", "lock.waits", "lock.wait_steps", "lock.deadlocks",
     # transactions
@@ -87,8 +93,11 @@ HISTOGRAMS: frozenset[str] = frozenset({
     "xscan.doc_events", "xscan.doc_peak_units",
     # lock manager: simulated wait steps per interactive lock acquire
     "lock.acquire_wait_steps",
-    # write-ahead log: encoded bytes per hardened record
-    "wal.record_bytes",
+    # write-ahead log: encoded bytes per hardened record, and commits
+    # hardened per group-commit force (p50 > 1 means batching is working)
+    "wal.record_bytes", "wal.group_size",
+    # background checkpointer: dirty pages trickled per lazy-writer cycle
+    "ckpt.trickle_batch",
     # buffer pool: pool accesses a frame stayed resident before eviction
     "buffer.eviction_residency",
     # serving layer: admission-queue wait and end-to-end request latency
@@ -218,13 +227,19 @@ class StatsRegistry:
     installed, so permanent instrumentation stays ~free.
 
     The registry is **thread-safe**: counter/gauge/histogram mutation is
-    guarded by one internal lock (a read-modify-write on a shared Counter
-    is not atomic), and the accounting sink of :meth:`charge` is
-    *per-thread* — each serving-layer worker charges the transaction it is
-    running, concurrently, without cross-attributing work.  This is what
-    keeps the "per-txn deltas sum to global deltas" reconciliation
-    invariant true under concurrent sessions.
+    guarded by internal locks *striped by metric name* (a read-modify-write
+    on a shared Counter is not atomic, but two threads bumping *different*
+    metrics have no reason to serialize on one hot lock — the same IRLM
+    hashing idea as the striped lock manager).  Whole-map reads
+    (:meth:`snapshot`, :meth:`counters`, :meth:`delta`, :meth:`reset`)
+    take every stripe in index order for a consistent copy.  The
+    accounting sink of :meth:`charge` is *per-thread* — each serving-layer
+    worker charges the transaction it is running, concurrently, without
+    cross-attributing work.  This is what keeps the "per-txn deltas sum to
+    global deltas" reconciliation invariant true under concurrent sessions.
     """
+
+    _STRIPES = 8
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
@@ -232,10 +247,24 @@ class StatsRegistry:
         self._histograms: dict[str, Histogram] = {}
         #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
         self.tracer = None
-        #: Guards every mutation of the shared maps above.
-        self._lock = threading.Lock()
+        #: Name-striped locks guarding the shared maps above.
+        self._locks = [threading.Lock() for _ in range(self._STRIPES)]
         #: Per-thread innermost accounting sink — see :meth:`charge`.
         self._local = threading.local()
+
+    def _lock_for(self, name: str) -> threading.Lock:
+        return self._locks[hash(name) % self._STRIPES]
+
+    @contextmanager
+    def _all_locks(self) -> Iterator[None]:
+        """Every stripe, in index order (whole-map consistency)."""
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount``.
@@ -245,7 +274,7 @@ class StatsRegistry:
         work to whichever transaction that thread is running.
         """
         sink = getattr(self._local, "sink", None)
-        with self._lock:
+        with self._lock_for(name):
             self._counters[name] += amount
             if sink is not None:
                 sink[name] += amount
@@ -256,7 +285,7 @@ class StatsRegistry:
 
     def set_high_water(self, name: str, value: int) -> None:
         """Record ``value`` into gauge ``name`` if it exceeds the old mark."""
-        with self._lock:
+        with self._lock_for(name):
             if value > self._gauges.get(name, 0):
                 self._gauges[name] = value
 
@@ -266,7 +295,7 @@ class StatsRegistry:
 
     def gauges(self) -> dict[str, int]:
         """All gauges (high-water marks) as a plain dict."""
-        with self._lock:
+        with self._all_locks():
             return dict(self._gauges)
 
     def observe(self, name: str, value: int) -> None:
@@ -276,7 +305,7 @@ class StatsRegistry:
         ``stats-hygiene`` checker (STAT003) enforces it, exactly as
         STAT002 does for counters.
         """
-        with self._lock:
+        with self._lock_for(name):
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = Histogram()
@@ -288,19 +317,19 @@ class StatsRegistry:
 
     def histograms(self) -> dict[str, Histogram]:
         """All histograms keyed by name."""
-        with self._lock:
+        with self._all_locks():
             return dict(self._histograms)
 
     def reset(self) -> None:
         """Zero every counter, gauge and histogram."""
-        with self._lock:
+        with self._all_locks():
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
 
     def counters(self) -> dict[str, int]:
         """All counters (no gauges) as a plain dict."""
-        with self._lock:
+        with self._all_locks():
             return dict(self._counters)
 
     def snapshot(self) -> dict[str, int]:
@@ -310,7 +339,7 @@ class StatsRegistry:
         sharing a counter's name can never clobber the counter (they are
         different quantities: monotone totals vs high-water marks).
         """
-        with self._lock:
+        with self._all_locks():
             merged: dict[str, int] = dict(self._counters)
             for name, value in self._gauges.items():
                 merged[f"gauge:{name}"] = value
@@ -375,13 +404,13 @@ class StatsRegistry:
                 run_query()
             print(d.get("disk.page_reads", 0))
         """
-        with self._lock:
+        with self._all_locks():
             before = dict(self._counters)
         out: dict[str, int] = {}
         try:
             yield out
         finally:
-            with self._lock:
+            with self._all_locks():
                 after = dict(self._counters)
             for name, value in after.items():
                 diff = value - before.get(name, 0)

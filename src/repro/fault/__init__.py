@@ -18,7 +18,7 @@ prove it:
 
 from repro.fault.disk import FaultyDisk
 from repro.fault.harness import (CrashHarness, CrashOutcome, database_digest,
-                                 verify_value_indexes)
+                                 recovered_commit_txns, verify_value_indexes)
 from repro.fault.injector import (FaultInjector, FaultPlan, FaultSpec,
                                   SimulatedCrash)
 
@@ -31,5 +31,6 @@ __all__ = [
     "FaultyDisk",
     "SimulatedCrash",
     "database_digest",
+    "recovered_commit_txns",
     "verify_value_indexes",
 ]

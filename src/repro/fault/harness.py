@@ -11,6 +11,17 @@ Verification helpers reduce a database to a comparable digest (every stored
 document plus every base row) and cross-check every XPath value index
 against a freshly rebuilt one, so crash tests can assert the recovered
 database is exactly the committed prefix with consistent indexes.
+
+Group commit adds two crash points inside the group force itself —
+``wal.group.pre_flush`` (the batch of COMMIT records is appended but none
+is durable) and ``wal.group.post_flush`` (the whole batch just hardened).
+Because :class:`~repro.rdb.wal.LogManager.save` persists only the durable
+prefix and the log *halts* when a crash escapes the force, ``run`` hardens
+exactly what a real crash would have: pre-flush loses the whole group,
+post-flush keeps it, and nothing the dead process did afterwards can leak
+into the WAL.  :func:`recovered_commit_txns` extracts the committed txn
+ids from a reloaded log so tests can assert "every acknowledged commit is
+recovered; nothing unacknowledged is acknowledged twice".
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from repro.core.stats import StatsRegistry
 from repro.fault.injector import FaultInjector, FaultSpec, SimulatedCrash
 from repro.indexes.manager import XPathValueIndex
 from repro.rdb.storage import Disk
-from repro.rdb.wal import LogManager
+from repro.rdb.wal import LogManager, LogOp
 from repro.xdm.serializer import serialize
 
 
@@ -44,6 +55,19 @@ class CrashOutcome:
     @property
     def point(self) -> str | None:
         return self.crash.point if self.crash else None
+
+
+def recovered_commit_txns(log: LogManager) -> set[int]:
+    """Txn ids whose COMMIT record survived in ``log``.
+
+    After a crash-and-reload this is the set of transactions recovery will
+    replay as committed.  Group-commit tests compare it against the ids the
+    *clients* saw acknowledged: acknowledged ⊆ recovered proves no durable
+    commit was lost; recovered ⊆ submitted proves no phantom commit was
+    manufactured.
+    """
+    return {record.txn_id for record in log.records()
+            if record.op is LogOp.COMMIT}
 
 
 def database_digest(db) -> dict:

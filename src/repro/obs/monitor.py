@@ -98,6 +98,12 @@ class WalView:
     bytes_since_checkpoint: int
     last_checkpoint_lsn: int | None
     checkpoints: int
+    #: Records at or below the flush boundary; with group commit off this
+    #: always equals ``records`` (every append auto-flushes).
+    durable_records: int = 0
+    unflushed_records: int = 0
+    flushes: int = 0
+    group_commits: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -107,6 +113,10 @@ class WalView:
             "bytes_since_checkpoint": self.bytes_since_checkpoint,
             "last_checkpoint_lsn": self.last_checkpoint_lsn,
             "checkpoints": self.checkpoints,
+            "durable_records": self.durable_records,
+            "unflushed_records": self.unflushed_records,
+            "flushes": self.flushes,
+            "group_commits": self.group_commits,
         }
 
 
@@ -197,6 +207,9 @@ class MonitorSnapshot:
              f"{wal.bytes_written} bytes "
              f"({wal.bytes_since_checkpoint} since checkpoint, "
              f"last checkpoint LSN {wal.last_checkpoint_lsn})"),
+            (f"  durable {wal.durable_records} "
+             f"(+{wal.unflushed_records} volatile), "
+             f"{wal.flushes} forces, {wal.group_commits} group commits"),
             "=== TRANSACTIONS ===",
         ]
         if self.transactions:
@@ -342,6 +355,10 @@ class Monitor:
             bytes_since_checkpoint=log.bytes_since_checkpoint,
             last_checkpoint_lsn=log.last_checkpoint_lsn(),
             checkpoints=stats.get("wal.checkpoints"),
+            durable_records=log.durable_count,
+            unflushed_records=log.unflushed_count,
+            flushes=stats.get("wal.flushes"),
+            group_commits=stats.get("wal.group_commits"),
         )
 
     def _transactions(self) -> tuple[TxnView, ...]:

@@ -15,7 +15,7 @@ where one lock manager covers relational and XML resources.
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
+import threading
 
 from repro.analyze import sanitize as _sanitize
 from repro.core.stats import GLOBAL_STATS, StatsRegistry
@@ -73,14 +73,60 @@ def mode_lub(a: LockMode, b: LockMode) -> LockMode:
     return _LUB[(a, b)]
 
 
-class LockManager:
-    """Lock table keyed by resource, with per-transaction bookkeeping."""
+class _ResourceStripe:
+    """One shard of the granted-lock table, with its own latch."""
 
-    def __init__(self, stats: StatsRegistry | None = None) -> None:
+    __slots__ = ("latch", "granted")
+
+    def __init__(self) -> None:
+        self.latch = threading.Lock()
+        #: {resource: {txn_id: mode}}
+        self.granted: dict[object, dict[int, LockMode]] = {}
+
+
+class _TxnStripe:
+    """One shard of the per-transaction bookkeeping (held + waits-for)."""
+
+    __slots__ = ("latch", "held", "waits_for")
+
+    def __init__(self) -> None:
+        self.latch = threading.Lock()
+        #: {txn_id: set of resources held}
+        self.held: dict[int, set[object]] = {}
+        #: {waiter txn_id: set of blocker txn_ids}
+        self.waits_for: dict[int, set[int]] = {}
+
+
+class LockManager:
+    """Striped lock table with per-transaction bookkeeping.
+
+    The table is sharded the way DB2's IRLM hashes lock names: resources
+    hash onto :class:`_ResourceStripe` shards of the granted-lock table and
+    transaction ids onto :class:`_TxnStripe` shards of the held/waits-for
+    maps, each stripe with its own latch.  A request touches exactly one
+    stripe of each kind and never holds two stripe latches at once, so the
+    stripes cannot deadlock against each other and concurrent requests on
+    different resources no longer serialize on one hot dict lock.
+
+    Consistency note: an operation sees each stripe atomically but the
+    *cross*-stripe view (``lock_table``, ``find_deadlock``) is a sequence
+    of per-stripe snapshots — the same fuzziness a real striped lock
+    manager accepts, and engine entries still run under the engine latch.
+    """
+
+    def __init__(self, stats: StatsRegistry | None = None,
+                 stripes: int = 16) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
-        self._granted: dict[object, dict[int, LockMode]] = defaultdict(dict)
-        self._held_by_txn: dict[int, set[object]] = defaultdict(set)
-        self._waits_for: dict[int, set[int]] = defaultdict(set)
+        count = max(1, stripes)
+        self._resource_stripes = [_ResourceStripe() for _ in range(count)]
+        self._txn_stripes = [_TxnStripe() for _ in range(count)]
+
+    def _resource_stripe(self, resource: object) -> _ResourceStripe:
+        return self._resource_stripes[hash(resource)
+                                      % len(self._resource_stripes)]
+
+    def _txn_stripe(self, txn_id: int) -> _TxnStripe:
+        return self._txn_stripes[hash(txn_id) % len(self._txn_stripes)]
 
     def try_acquire(self, txn_id: int, resource: object, mode: LockMode) -> bool:
         """Grant ``mode`` on ``resource`` to ``txn_id`` if compatible.
@@ -88,24 +134,32 @@ class LockManager:
         Re-requests upgrade to the least upper bound of held and requested
         modes.  On conflict, records waits-for edges and returns ``False``.
         """
-        holders = self._granted[resource]
-        held = holders.get(txn_id)
-        effective = mode if held is None else mode_lub(held, mode)
-        blockers = [
-            other for other, other_mode in holders.items()
-            if other != txn_id and not mode_compatible(effective, other_mode)
-        ]
+        stripe = self._resource_stripe(resource)
+        with stripe.latch:
+            holders = stripe.granted.setdefault(resource, {})
+            held = holders.get(txn_id)
+            effective = mode if held is None else mode_lub(held, mode)
+            blockers = [
+                other for other, other_mode in holders.items()
+                if other != txn_id
+                and not mode_compatible(effective, other_mode)
+            ]
+            if not blockers:
+                holders[txn_id] = effective
+        txn_stripe = self._txn_stripe(txn_id)
         if blockers:
             self.stats.add("lock.waits")
             self.stats.trace_event("lock.wait", txn=txn_id,
                                    resource=str(resource),
                                    mode=effective.name,
                                    blockers=len(blockers))
-            self._waits_for[txn_id].update(blockers)
+            with txn_stripe.latch:
+                txn_stripe.waits_for.setdefault(txn_id, set()) \
+                    .update(blockers)
             return False
-        holders[txn_id] = effective
-        self._held_by_txn[txn_id].add(resource)
-        self._waits_for.pop(txn_id, None)
+        with txn_stripe.latch:
+            txn_stripe.held.setdefault(txn_id, set()).add(resource)
+            txn_stripe.waits_for.pop(txn_id, None)
         self.stats.add("lock.acquired")
         if _sanitize.enabled():
             _sanitize.on_lock_acquired(self.stats, txn_id, resource)
@@ -114,26 +168,48 @@ class LockManager:
     def holds(self, txn_id: int, resource: object,
               mode: LockMode | None = None) -> bool:
         """Whether ``txn_id`` holds ``resource`` (at least in ``mode``)."""
-        held = self._granted.get(resource, {}).get(txn_id)
+        stripe = self._resource_stripe(resource)
+        with stripe.latch:
+            held = stripe.granted.get(resource, {}).get(txn_id)
         if held is None:
             return False
         return mode is None or mode_lub(held, mode) == held
 
     def holders(self, resource: object) -> dict[int, LockMode]:
         """Snapshot of granted modes on ``resource``."""
-        return dict(self._granted.get(resource, {}))
+        stripe = self._resource_stripe(resource)
+        with stripe.latch:
+            return dict(stripe.granted.get(resource, {}))
 
     def release_all(self, txn_id: int) -> None:
-        """Drop every lock held by ``txn_id`` (commit/abort time)."""
-        for resource in self._held_by_txn.pop(txn_id, set()):
-            holders = self._granted.get(resource)
-            if holders is not None:
-                holders.pop(txn_id, None)
-                if not holders:
-                    del self._granted[resource]
-        self._waits_for.pop(txn_id, None)
-        for edges in self._waits_for.values():
-            edges.discard(txn_id)
+        """Drop every lock held by ``txn_id`` (commit/abort time).
+
+        Also erases ``txn_id`` from every other waiter's edge set, and —
+        crucially — drops waiters whose edge set *empties*: a leftover
+        ``{waiter: set()}`` entry would keep counting in
+        :meth:`waiter_count` as a phantom waiter (the serving layer's
+        overload guard sheds on that number) even though nothing blocks
+        the transaction any more.
+        """
+        txn_stripe = self._txn_stripe(txn_id)
+        with txn_stripe.latch:
+            held = txn_stripe.held.pop(txn_id, set())
+            txn_stripe.waits_for.pop(txn_id, None)
+        for resource in held:
+            stripe = self._resource_stripe(resource)
+            with stripe.latch:
+                holders = stripe.granted.get(resource)
+                if holders is not None:
+                    holders.pop(txn_id, None)
+                    if not holders:
+                        del stripe.granted[resource]
+        for stripe in self._txn_stripes:
+            with stripe.latch:
+                for waiter in list(stripe.waits_for):
+                    edges = stripe.waits_for[waiter]
+                    edges.discard(txn_id)
+                    if not edges:
+                        del stripe.waits_for[waiter]
         if _sanitize.enabled():
             _sanitize.on_locks_released(txn_id)
 
@@ -144,11 +220,15 @@ class LockManager:
         transaction keeps what it holds but no longer waits, so its stale
         edges cannot produce false deadlock cycles.
         """
-        self._waits_for.pop(txn_id, None)
+        stripe = self._txn_stripe(txn_id)
+        with stripe.latch:
+            stripe.waits_for.pop(txn_id, None)
 
     def locks_held(self, txn_id: int) -> int:
         """Number of resources currently locked by ``txn_id``."""
-        return len(self._held_by_txn.get(txn_id, ()))
+        stripe = self._txn_stripe(txn_id)
+        with stripe.latch:
+            return len(stripe.held.get(txn_id, ()))
 
     # -- introspection (DISPLAY-style snapshots, repro.obs.monitor) --------
 
@@ -158,27 +238,39 @@ class LockManager:
         Empty holder maps (a resource whose last lock was just released)
         are omitted, so the result reflects only live grants.
         """
-        return {resource: dict(holders)
-                for resource, holders in self._granted.items() if holders}
+        table: dict[object, dict[int, LockMode]] = {}
+        for stripe in self._resource_stripes:
+            with stripe.latch:
+                for resource, holders in stripe.granted.items():
+                    if holders:
+                        table[resource] = dict(holders)
+        return table
 
     def waiter_count(self) -> int:
         """Number of transactions currently recorded as waiting.
 
-        Unlike :meth:`waits_for_edges` this does not iterate the graph, so
-        it is safe to call from a monitoring thread without the engine
-        latch (``len`` of a dict is atomic under the GIL) — the serving
-        layer's overload guard reads it on the admission path.
+        Unlike :meth:`waits_for_edges` this does not copy the graph — it
+        sums per-stripe dict lengths, each atomic under the GIL — so it is
+        safe (and O(stripes)) to call from a monitoring thread without the
+        engine latch; the serving layer's overload guard reads it on the
+        admission path.  :meth:`release_all` keeps the stripes free of
+        empty edge sets, so every counted entry is a real waiter.
         """
-        return len(self._waits_for)
+        return sum(len(stripe.waits_for) for stripe in self._txn_stripes)
 
     def waits_for_edges(self) -> dict[int, frozenset[int]]:
         """Copy of the waits-for graph: ``{waiter: blockers}``."""
-        return {waiter: frozenset(blockers)
-                for waiter, blockers in self._waits_for.items() if blockers}
+        edges: dict[int, frozenset[int]] = {}
+        for stripe in self._txn_stripes:
+            with stripe.latch:
+                for waiter, blockers in stripe.waits_for.items():
+                    if blockers:
+                        edges[waiter] = frozenset(blockers)
+        return edges
 
     def find_deadlock(self) -> list[int] | None:
         """Return a cycle of transaction ids in the waits-for graph, if any."""
-        graph = {t: set(edges) for t, edges in self._waits_for.items()}
+        graph = {t: set(edges) for t, edges in self.waits_for_edges().items()}
         visited: set[int] = set()
         for start in graph:
             if start in visited:

@@ -15,6 +15,16 @@ gives — while corruption in the *middle* of the log raises
 :class:`~repro.errors.RecoveryError`, because records after the damage can
 no longer be trusted.
 
+The log distinguishes the *appended* tail from the *durable* prefix.  With
+``auto_flush`` (the default) every append hardens immediately — the
+single-threaded behaviour every pre-group-commit test relies on.  With
+``auto_flush`` off, appends land in the volatile tail and only
+:meth:`LogManager.flush` advances the durable boundary; :meth:`save`
+persists the durable prefix only, exactly what stable storage would hold
+after a crash.  :class:`GroupCommitter` builds the DB2-style group commit
+(one log force shared by every committer in a window — the "log latch"
+batching of DB2 for z/OS) on top of that boundary.
+
 ``CHECKPOINT`` records carry the set of loser transactions (in-flight or
 aborted) at checkpoint time, so :func:`replay`'s analysis pass can start at
 the last checkpoint instead of scanning the whole log for COMMITs.
@@ -27,6 +37,7 @@ have to harden.
 from __future__ import annotations
 
 import enum
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterator
@@ -123,14 +134,24 @@ class LogManager:
     """
 
     def __init__(self, stats: StatsRegistry | None = None,
-                 injector: "object | None" = None) -> None:
+                 injector: "object | None" = None,
+                 auto_flush: bool = True) -> None:
         self.stats = stats if stats is not None else GLOBAL_STATS
         self.injector = injector
+        #: With ``auto_flush`` every append is immediately durable (the
+        #: classic one-force-per-record discipline).  Group commit turns it
+        #: off so :meth:`flush` can harden a whole window in one force.
+        self.auto_flush = auto_flush
         self._records: list[LogRecord] = []
         self._bytes = 0
         self._bytes_at_checkpoint = 0
         self._aborted: set[int] = set()
         self._last_lsn = -1  # sanitizer: newest hardened LSN
+        self._durable_count = 0  # records at or below the flush boundary
+        #: Set when a simulated crash killed the logging path: the process
+        #: is dead, so every later append/flush re-raises instead of
+        #: hardening state a real crash would have lost.
+        self._halted: BaseException | None = None
 
     @property
     def next_lsn(self) -> int:
@@ -151,13 +172,47 @@ class LogManager:
         """Transactions whose ABORT records this log has seen."""
         return frozenset(self._aborted)
 
+    @property
+    def durable_count(self) -> int:
+        """Records at or below the flush boundary (what :meth:`save` keeps)."""
+        return self._durable_count
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the newest durable record (-1 while nothing is durable)."""
+        return self._durable_count - 1
+
+    @property
+    def unflushed_count(self) -> int:
+        """Appended records still in the volatile tail."""
+        return len(self._records) - self._durable_count
+
     def _hit(self, point: str) -> None:
         if self.injector is not None:
             self.injector.hit(point)
 
+    def _check_halted(self) -> None:
+        if self._halted is not None:
+            raise self._halted
+
+    def halt(self, error: BaseException) -> None:
+        """Mark the logging path dead (simulated crash mid-group-commit).
+
+        Surviving worker threads that try to append or flush afterwards
+        re-raise ``error`` — a crashed process cannot keep hardening log
+        records, and letting it would corrupt the crash matrix's notion of
+        what stable storage held at the instant of death.
+        """
+        self._halted = error
+
     def append(self, txn_id: int, op: LogOp, target: str = "",
                payload: bytes = b"", extra: bytes = b"") -> LogRecord:
-        """Harden one log record; returns it with its LSN assigned."""
+        """Append one log record; returns it with its LSN assigned.
+
+        Under ``auto_flush`` the record is durable on return; otherwise it
+        sits in the volatile tail until :meth:`flush`.
+        """
+        self._check_halted()
         if op is LogOp.COMMIT:
             self._hit("wal.commit.pre")
         self._hit("wal.append.pre")
@@ -176,12 +231,30 @@ class LogManager:
         self.stats.observe("wal.record_bytes", encoded_len)
         self.stats.trace_event("wal.append", op=op.name, lsn=record.lsn,
                                bytes=encoded_len)
+        if self.auto_flush:
+            self._durable_count = len(self._records)
         self._hit("wal.append.post")
         if op is LogOp.COMMIT:
             self._hit("wal.commit.post")
         elif op is LogOp.CHECKPOINT:
             self._hit("wal.checkpoint.post")
         return record
+
+    def flush(self) -> int:
+        """Advance the durable boundary over the volatile tail (log force).
+
+        Returns the number of records hardened.  A no-op (and no counter
+        traffic) when nothing is outstanding — under ``auto_flush`` every
+        append already forced itself.
+        """
+        self._check_halted()
+        hardened = len(self._records) - self._durable_count
+        if hardened <= 0:
+            return 0
+        self._durable_count = len(self._records)
+        self.stats.add("wal.flushes")
+        self.stats.trace_event("wal.flush", records=hardened)
+        return hardened
 
     def checkpoint(self, active_txns: set[int] | list[int] = ()) -> LogRecord:
         """Write a CHECKPOINT record.
@@ -196,6 +269,10 @@ class LogManager:
             losers = set(active_txns) | self._aborted
             record = self.append(-1, LogOp.CHECKPOINT, "checkpoint",
                                  encode_checkpoint(losers))
+            # A checkpoint must reach stable storage: recovery's analysis
+            # pass starts here, so the record (and everything before it)
+            # is forced even when group commit has auto_flush off.
+            self.flush()
             self._bytes_at_checkpoint = self._bytes
             self.stats.add("wal.checkpoints")
             if span is not None:
@@ -222,15 +299,20 @@ class LogManager:
         # the checkpoint/backup that justified the truncation.
         self._bytes_at_checkpoint = self._bytes
         self._last_lsn = -1  # LSNs legitimately restart after truncation
+        self._durable_count = 0
 
     def save(self, path: str) -> None:
-        """Persist the log for crash/restart tests.
+        """Persist the durable prefix for crash/restart tests.
 
         Each record is framed as ``length(4) || crc32(4) || body`` so that
-        :meth:`load` can tell a torn tail from mid-log corruption.
+        :meth:`load` can tell a torn tail from mid-log corruption.  Only
+        records at or below the flush boundary are written: a volatile tail
+        (appends never forced by group commit before the crash) is exactly
+        what a real crash loses.  Under ``auto_flush`` the boundary tracks
+        every append, so the whole log persists as before.
         """
         with open(path, "wb") as fh:
-            for record in self._records:
+            for record in self._records[:self._durable_count]:
                 encoded = record.encode()
                 fh.write(len(encoded).to_bytes(4, "big"))
                 fh.write(zlib.crc32(encoded).to_bytes(4, "big"))
@@ -276,12 +358,131 @@ class LogManager:
                     f"{exc}") from exc
             log._records.append(record)
             log._bytes += length
+            # Restart state: the newest hardened LSN feeds the monotonicity
+            # sanitizer, and the checkpoint byte mark keeps
+            # ``bytes_since_checkpoint`` (the monitor's checkpoint-lag
+            # panel) correct across a restart instead of counting the whole
+            # pre-checkpoint volume as outstanding.
+            log._last_lsn = record.lsn
             if record.op is LogOp.ABORT:
                 log._aborted.add(record.txn_id)
+            elif record.op is LogOp.CHECKPOINT:
+                log._bytes_at_checkpoint = log._bytes
             log.stats.add("wal.records")
             log.stats.add("wal.bytes", length)
             pos = end
+        # Everything that survived on stable storage is, by definition,
+        # durable.
+        log._durable_count = len(log._records)
         return log
+
+
+class GroupCommitter:
+    """Batch COMMIT-record hardening from concurrent transactions.
+
+    The leader/follower protocol of DB2's log latch: the first committer
+    in a window becomes the *leader*, waits briefly for companions (with
+    the engine latch yielded, so they can actually append), then forces
+    the whole volatile tail in one :meth:`LogManager.flush`.  *Followers*
+    — committers arriving while a leader is collecting — append their
+    COMMIT record and block on their ticket (their LSN crossing the
+    durable boundary) instead of forcing their own flush.
+
+    All state is mutated only under the engine latch (every caller is an
+    engine entry), so the class needs no lock of its own; the only blocking
+    primitive is ``yield_wait``, the latch-release-and-sleep hook the
+    serving layer installs.  Without a server (``yield_wait`` is ``None``)
+    a commit leads immediately and flushes a group of one — the
+    single-threaded behaviour, just routed through the same window.
+
+    Crash points ``wal.group.pre_flush`` / ``wal.group.post_flush`` fire
+    around the group force so the crash harness can kill the process with
+    a window's commits appended-but-volatile (all of them must vanish on
+    restart: none was acknowledged) or flushed-but-unacknowledged (all of
+    them must survive: they were durable, only the acks were lost).  A
+    crash inside the window halts the log: surviving workers' commits
+    re-raise instead of hardening post-mortem state.
+    """
+
+    def __init__(self, log: LogManager, stats: StatsRegistry | None = None,
+                 window: float = 0.002, max_group: int = 64) -> None:
+        self.log = log
+        self.stats = stats if stats is not None else log.stats
+        #: Seconds the leader waits for companions before forcing.
+        self.window = window
+        #: Force early once this many commits are waiting on the window.
+        self.max_group = max(1, max_group)
+        #: Latch-release-and-sleep hook (installed by the serving layer).
+        #: ``None`` means single-threaded: lead and force immediately.
+        self.yield_wait: Callable[[float], None] | None = None
+        #: Sleep per collection step — fine enough that followers notice
+        #: the flush promptly, long enough to actually yield the latch.
+        self.step = 0.0002
+        self._leader_active = False
+        self._pending = 0  # COMMIT records appended but not yet forced
+
+    @property
+    def pending(self) -> int:
+        """COMMIT records waiting on the next group force."""
+        return self._pending
+
+    def commit(self, txn_id: int) -> LogRecord:
+        """Append ``txn_id``'s COMMIT record and return once it is durable.
+
+        Raises whatever killed the group (a simulated crash) if the log
+        has been halted — an unacknowledged commit, by construction.
+        """
+        record = self.log.append(txn_id, LogOp.COMMIT)
+        self._pending += 1
+        if self._leader_active:
+            self.stats.add("wal.group_follows")
+            self._follow(record.lsn)
+        else:
+            self.stats.add("wal.group_leads")
+            self._lead()
+        return record
+
+    def _lead(self) -> None:
+        """Collect companions for a window, then force the group."""
+        self._leader_active = True
+        try:
+            waiter = self.yield_wait
+            if waiter is not None and self.window > 0:
+                deadline = time.monotonic() + self.window
+                while (self._pending < self.max_group
+                       and time.monotonic() < deadline):
+                    waiter(self.step)  # latch released: followers append
+            self._force_group()
+        finally:
+            self._leader_active = False
+
+    def _follow(self, lsn: int) -> None:
+        """Wait on the ticket: our LSN crossing the durable boundary."""
+        waiter = self.yield_wait
+        while self.log.durable_lsn < lsn:
+            if waiter is None or not self._leader_active:
+                # The leader is gone (or there is no way to wait): force
+                # the remainder ourselves rather than spin.
+                self._force_group()
+                return
+            waiter(self.step)
+
+    def _force_group(self) -> None:
+        """One log force covering every pending commit in the window."""
+        batch = self._pending
+        try:
+            self.log._hit("wal.group.pre_flush")
+            self.log.flush()
+            self.log._hit("wal.group.post_flush")
+        except BaseException as error:
+            # The simulated process died mid-force.  Nothing else may
+            # harden log state after this instant.
+            self.log.halt(error)
+            raise
+        self._pending = 0
+        if batch > 0:
+            self.stats.add("wal.group_commits")
+            self.stats.observe("wal.group_size", batch)
 
 
 def replay(log: LogManager,

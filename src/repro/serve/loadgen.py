@@ -139,6 +139,12 @@ class LoadReport:
     verified: bool
     verify_errors: list
     counters: dict
+    #: group-commit shape: how many txns each log force hardened (0s when
+    #: group commit is off — every commit forces alone).
+    wal_flushes: int = 0
+    wal_group_commits: int = 0
+    group_size_p50: int = 0
+    group_size_max: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -161,6 +167,12 @@ class LoadReport:
             },
             "verified": self.verified,
             "verify_errors": self.verify_errors,
+            "group_commit": {
+                "wal_flushes": self.wal_flushes,
+                "group_commits": self.wal_group_commits,
+                "group_size_p50": self.group_size_p50,
+                "group_size_max": self.group_size_max,
+            },
             "counters": self.counters,
         }
 
@@ -291,7 +303,9 @@ class LoadHarness:
         queue_hist = stats.histogram("serve.queue_wait_us")
         failures = [f for tally in tallies for f in tally.failures]
         counters = {name: value for name, value in stats.counters().items()
-                    if name.startswith(("serve.", "txn.", "lock."))}
+                    if name.startswith(("serve.", "txn.", "lock.", "wal.",
+                                        "ckpt."))}
+        group_hist = stats.histogram("wal.group_size")
         return LoadReport(
             clients=len(tallies),
             ops_per_client=ops_per_client,
@@ -314,6 +328,10 @@ class LoadHarness:
             verified=not verify_errors and not failures,
             verify_errors=verify_errors,
             counters=counters,
+            wal_flushes=counters.get("wal.flushes", 0),
+            wal_group_commits=counters.get("wal.group_commits", 0),
+            group_size_p50=group_hist.quantile(0.5) if group_hist else 0,
+            group_size_max=group_hist.max if group_hist else 0,
         )
 
     def verify_commits(self, tallies: list,
@@ -396,13 +414,21 @@ def main(argv: list | None = None) -> int:
     parser.add_argument("--queue-limit", type=int, default=64)
     parser.add_argument("--deadline", type=float, default=5.0,
                         help="per-request deadline in seconds")
+    parser.add_argument("--group-commit", action="store_true",
+                        help="batch COMMIT hardening across sessions "
+                             "(one log force per group)")
+    parser.add_argument("--background-checkpointer", action="store_true",
+                        help="run checkpoints and dirty-page trickling on "
+                             "a background thread")
     parser.add_argument("--out", type=str, default="",
                         help="write the JSON report here")
     options = parser.parse_args(argv)
     report = run_load(clients=options.clients, ops_per_client=options.ops,
                       seed=options.seed, workers=options.workers,
                       queue_limit=options.queue_limit,
-                      deadline=options.deadline)
+                      deadline=options.deadline,
+                      txn_group_commit=options.group_commit,
+                      ckpt_background=options.background_checkpointer)
     rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
     print(rendered)
     if options.out:

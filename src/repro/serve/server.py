@@ -115,6 +115,15 @@ class DatabaseServer:
         self._session_ids = itertools.count(1)
         self._sessions: dict[int, Session] = {}
         self._lock_yield = config.serve_lock_yield
+        #: Background checkpointer/lazy writer (``config.ckpt_background``):
+        #: started with the pool, wired to ``txns.checkpoint_async`` so
+        #: commit-threshold checkpoints stop stalling request threads.
+        self.checkpointer = None
+        if config.ckpt_background:
+            from repro.core.checkpointer import Checkpointer
+            self.checkpointer = Checkpointer(
+                db, interval=config.ckpt_interval_seconds,
+                trickle_pages=config.ckpt_trickle_pages)
         #: First :class:`SimulatedCrash` a worker hit, if any (a crash
         #: plan fired mid-request): the server stops admitting and the
         #: harness re-raises it from :meth:`shutdown`.
@@ -131,6 +140,16 @@ class DatabaseServer:
             self._state = "serving"
         self.db.txns.lock_wait_yield = self._yield_latch
         self.db.backoff_sleep = self._latch_sleep
+        if self.db.group_commit is not None:
+            # The leader's collection window and the followers' ticket
+            # waits sleep through the same latch-releasing hook as lock
+            # waits — that is what lets companion committers actually
+            # reach the log while a leader collects.
+            self.db.group_commit.yield_wait = self._latch_sleep
+        if self.checkpointer is not None:
+            self.db.txns.checkpoint_async = \
+                self.checkpointer.request_checkpoint
+            self.checkpointer.start()
         for index in range(self.workers):
             thread = threading.Thread(target=self._worker_loop,
                                       name=f"serve-worker-{index}",
@@ -165,10 +184,28 @@ class DatabaseServer:
         with self.db.latch:
             for session in list(self._sessions.values()):
                 session.closed = True
-                self._rollback_abandoned(session)
+                try:
+                    self._rollback_abandoned(session)
+                except SimulatedCrash as crash:
+                    # A halted log (crash mid group force) makes the
+                    # abort's ABORT append re-raise the crash; keep
+                    # tearing down — shutdown re-raises it at the end.
+                    if self.crashed is None:
+                        self.crashed = crash
         self._sessions.clear()
+        ckpt_error: BaseException | None = None
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
+            self.db.txns.checkpoint_async = None
+            ckpt_error = self.checkpointer.error
+            if isinstance(ckpt_error, SimulatedCrash):
+                if self.crashed is None:
+                    self.crashed = ckpt_error
+                ckpt_error = None
         self.db.txns.lock_wait_yield = None
         self.db.backoff_sleep = None
+        if self.db.group_commit is not None:
+            self.db.group_commit.yield_wait = None
         with self._state_lock:
             self._state = "closed"
         if _sanitize.enabled():
@@ -176,6 +213,10 @@ class DatabaseServer:
                 self.stats, self.db.txns.accounting.records())
         if self.crashed is not None:
             raise self.crashed
+        if ckpt_error is not None:
+            # A real bug killed the lazy writer: surface it rather than
+            # finish a "clean" shutdown over a dead background thread.
+            raise ckpt_error
 
     def __enter__(self) -> "DatabaseServer":
         return self.start()

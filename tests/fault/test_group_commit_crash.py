@@ -1,0 +1,197 @@
+"""Crash matrix for the group-commit force path.
+
+``wal.group.pre_flush`` fires with a window's COMMIT records appended but
+none durable — every commit in that group must vanish on restart, and
+none of them was acknowledged.  ``wal.group.post_flush`` fires right
+after the force — every commit in the group must survive, even though no
+acknowledgement ever reached a client.  Single-threaded runs make the
+matrix deterministic (each commit leads its own group of one); the
+threaded server test then proves the acknowledgement-side invariant under
+real concurrency: **acknowledged ⊆ recovered ⊆ submitted**.
+"""
+
+import threading
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import Database
+from repro.errors import ReproError
+from repro.fault import (CrashHarness, FaultPlan, database_digest,
+                         recovered_commit_txns, verify_value_indexes)
+from repro.fault.injector import FaultInjector, SimulatedCrash
+from repro.rdb.wal import LogManager, LogOp
+from repro.serve import DatabaseServer
+
+CONFIG = EngineConfig(page_size=1024, buffer_pool_pages=64,
+                      txn_group_commit=True, checkpoint_interval=0)
+
+DOCS = [f"<a><b>{i}</b><c>text {i}</c></a>" for i in range(5)]
+
+
+def setup_schema(db):
+    db.create_table("t", [("id", "BIGINT"), ("doc", "XML")])
+    db.create_xpath_index("ix_b", "t", "doc", "/a/b", "double")
+
+
+class AckTracker:
+    """Transaction ids whose ``commit()`` returned to the caller."""
+
+    def __init__(self):
+        self.acked = []
+        self.submitted = []
+
+
+def workload(tracker):
+    def load(db):
+        setup_schema(db)
+        db.log.flush()  # harden the DDL; commits are what we crash around
+        for i in range(len(DOCS)):
+            txn = db.txns.begin()
+            tracker.submitted.append(txn.txn_id)
+            db.insert("t", (i, DOCS[i]), txn_id=txn.txn_id)
+            txn.commit()
+            tracker.acked.append(txn.txn_id)
+    return load
+
+
+def reference_database(n_docs):
+    db = Database(CONFIG)
+    setup_schema(db)
+    db.log.flush()
+    for i in range(n_docs):
+        txn = db.txns.begin()
+        db.insert("t", (i, DOCS[i]), txn_id=txn.txn_id)
+        txn.commit()
+    return db
+
+
+# (crash point, hit, docs recovered). Single-threaded: force k belongs to
+# txn k's commit, so pre_flush at hit k loses txn k's group (k-1 docs
+# survive) while post_flush at hit k keeps it (k docs survive).
+MATRIX = [
+    ("wal.group.pre_flush", 1, 0),
+    ("wal.group.pre_flush", 3, 2),
+    ("wal.group.pre_flush", 5, 4),
+    ("wal.group.post_flush", 1, 1),
+    ("wal.group.post_flush", 3, 3),
+    ("wal.group.post_flush", 5, 5),
+]
+
+
+class TestGroupCommitCrashMatrix:
+    @pytest.mark.parametrize("point,hit,expected_docs", MATRIX,
+                             ids=[f"{m[0]}-hit{m[1]}" for m in MATRIX])
+    def test_recovers_exactly_the_acknowledged_prefix(self, tmp_path, point,
+                                                      hit, expected_docs):
+        harness = CrashHarness(str(tmp_path), config=CONFIG)
+        tracker = AckTracker()
+        outcome = harness.run(workload(tracker),
+                              plan=[FaultPlan.crash_at(point, hit=hit)])
+        assert outcome.crashed and outcome.point == point
+        # The crashing commit never returned: post_flush recovers one more
+        # doc (durable-but-unacknowledged) than any client saw acked.
+        expected_acked = expected_docs - \
+            (1 if point.endswith("post_flush") else 0)
+        assert len(tracker.acked) == expected_acked
+        recovered = harness.restart()
+        reference = reference_database(expected_docs)
+        assert database_digest(recovered) == database_digest(reference)
+        verify_value_indexes(recovered)
+
+    @pytest.mark.parametrize("point,hit,expected_docs", MATRIX,
+                             ids=[f"{m[0]}-hit{m[1]}" for m in MATRIX])
+    def test_acknowledged_subset_of_recovered(self, tmp_path, point, hit,
+                                              expected_docs):
+        harness = CrashHarness(str(tmp_path), config=CONFIG)
+        tracker = AckTracker()
+        harness.run(workload(tracker),
+                    plan=[FaultPlan.crash_at(point, hit=hit)])
+        recovered = recovered_commit_txns(harness.load_log())
+        acked = set(tracker.acked)
+        # No acknowledged commit is ever lost...
+        assert acked <= recovered
+        # ...and nothing outside the submitted set is ever manufactured.
+        # pre_flush: the dying group was volatile, so recovery holds
+        # exactly the acknowledged set; post_flush: the dying group
+        # hardened without acks, so extras are submitted-but-unacked.
+        assert recovered <= set(tracker.submitted)
+        if point.endswith("pre_flush"):
+            assert recovered == acked
+        else:
+            assert len(recovered) == len(acked) + 1
+
+    def test_survivors_cannot_append_after_the_crash(self, tmp_path):
+        harness = CrashHarness(str(tmp_path), config=CONFIG)
+        tracker = AckTracker()
+        outcome = harness.run(
+            workload(tracker),
+            plan=[FaultPlan.crash_at("wal.group.pre_flush", hit=3)])
+        assert outcome.crashed
+        # The crash halted the log: a surviving thread's append must
+        # re-raise, not harden post-mortem state the crash already lost.
+        with pytest.raises(SimulatedCrash):
+            outcome.db.log.append(99, LogOp.BEGIN)
+
+
+DOC = "<Product><Name>item {i}</Name><Price>{i}</Price></Product>"
+
+
+class TestServerGroupCommitCrash:
+    """Mid-group-commit crash under a live multi-session server."""
+
+    def _run(self, point, tmp_path, clients=8):
+        config = replace(CONFIG, serve_workers=4, serve_queue_limit=256,
+                         txn_group_commit_window=0.02)
+        injector = FaultInjector([FaultPlan.crash_at(point, hit=2)])
+        db = Database(config, injector=injector)
+        db.create_table("docs", [("key", "varchar"), ("doc", "xml")])
+        acked, submitted = [], []
+        lock = threading.Lock()
+        server = DatabaseServer(db).start()
+
+        def client(index):
+            key = f"c{index}"
+            with lock:
+                submitted.append(key)
+            try:
+                with server.session() as session:
+                    session.insert("docs", (key, DOC.format(i=index)))
+                with lock:
+                    acked.append(key)
+            except (SimulatedCrash, ReproError):
+                pass  # killed by the crash, shed, or server draining
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with pytest.raises(SimulatedCrash):
+            server.shutdown(drain=True)
+        # Harden what a real crash left: the durable log prefix.
+        injector.disarm()
+        wal_path = str(tmp_path / "server-crash.wal")
+        db.log.save(wal_path)
+        recovered_db = Database.replay(LogManager.load(wal_path), config)
+        stored = {row[0] for _, row in
+                  recovered_db.tables["docs"].scan_rids()} \
+            if "docs" in recovered_db.tables else set()
+        return set(acked), set(submitted), stored
+
+    def test_pre_flush_crash_loses_only_unacknowledged(self, tmp_path):
+        acked, submitted, stored = self._run("wal.group.pre_flush", tmp_path)
+        assert acked <= stored  # no acknowledged commit lost
+        assert stored <= submitted  # no phantom commit manufactured
+
+    def test_post_flush_crash_keeps_the_hardened_group(self, tmp_path):
+        acked, submitted, stored = self._run("wal.group.post_flush",
+                                             tmp_path)
+        assert acked <= stored
+        assert stored <= submitted
+        # The dying group hardened: at least one commit survived that no
+        # client ever saw acknowledged (durable-but-unacked, the classic
+        # group-commit outcome).
+        assert stored

@@ -1,0 +1,110 @@
+"""Striped lock-table tests and the phantom-waiter regression.
+
+``release_all`` used to leave ``{waiter: set()}`` husks in the waits-for
+map after erasing the released transaction from other waiters' edge sets,
+so :meth:`LockManager.waiter_count` kept counting transactions that no
+longer waited on anything — and the serving layer's overload guard sheds
+new work on that number.  These tests pin the fix and the agreement
+between ``waiter_count``, ``waits_for_edges`` and ``find_deadlock``,
+plus basic correctness of the striped tables themselves.
+"""
+
+from dataclasses import replace
+
+from repro.core.config import DEFAULT_CONFIG
+from repro.core.engine import Database
+from repro.core.stats import StatsRegistry
+from repro.obs.monitor import Monitor
+from repro.rdb.locks import LockManager, LockMode
+from repro.serve.admission import OverloadGuard
+
+
+class TestPhantomWaiterRegression:
+    def test_release_all_drops_emptied_waiters(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        assert not lm.try_acquire(2, "a", LockMode.X)  # 2 waits on 1
+        assert lm.waiter_count() == 1
+        lm.release_all(1)
+        # Regression: the emptied edge set used to linger, so txn 2 kept
+        # counting as a waiter forever.
+        assert lm.waiter_count() == 0
+        assert lm.waits_for_edges() == {}
+
+    def test_waiter_count_agrees_with_edges_through_churn(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        lm.try_acquire(2, "b", LockMode.X)
+        assert not lm.try_acquire(3, "a", LockMode.X)
+        assert not lm.try_acquire(3, "b", LockMode.S)
+        assert not lm.try_acquire(4, "a", LockMode.S)
+        for txn_id in (1, 2, 3, 4):
+            assert lm.waiter_count() == len(lm.waits_for_edges())
+            lm.release_all(txn_id)
+        assert lm.waiter_count() == 0
+        assert lm.waits_for_edges() == {}
+
+    def test_find_deadlock_sees_no_cycle_after_release(self):
+        lm = LockManager(StatsRegistry())
+        lm.try_acquire(1, "a", LockMode.X)
+        lm.try_acquire(2, "b", LockMode.X)
+        assert not lm.try_acquire(1, "b", LockMode.X)
+        assert not lm.try_acquire(2, "a", LockMode.X)
+        assert lm.find_deadlock() is not None
+        lm.release_all(1)
+        assert lm.find_deadlock() is None
+        assert lm.waiter_count() == len(lm.waits_for_edges())
+
+    def test_overload_guard_stops_shedding_after_release(self):
+        config = replace(DEFAULT_CONFIG, serve_shed_lock_waiters=1,
+                         serve_shed_check_interval=1)
+        db = Database(config)
+        guard = OverloadGuard(Monitor(db), config, db.stats)
+        locks = db.txns.locks
+        locks.try_acquire(1, "hot", LockMode.X)
+        locks.try_acquire(2, "hot", LockMode.X)
+        locks.try_acquire(3, "hot", LockMode.S)
+        assert guard.check() is not None  # two real waiters > limit of 1
+        locks.release_all(1)
+        locks.release_all(2)
+        locks.release_all(3)
+        # Regression: phantom waiters kept the guard shedding every new
+        # request even though the lock table was completely idle.
+        assert guard.check() is None
+
+
+class TestStripedTables:
+    def test_grants_and_holders_across_many_stripes(self):
+        lm = LockManager(StatsRegistry(), stripes=4)
+        resources = [f"r{i}" for i in range(32)]
+        for i, resource in enumerate(resources):
+            assert lm.try_acquire(i, resource, LockMode.X)
+        table = lm.lock_table()
+        assert len(table) == len(resources)
+        for i, resource in enumerate(resources):
+            assert lm.holders(resource) == {i: LockMode.X}
+            assert lm.holds(i, resource, LockMode.X)
+
+    def test_conflicts_are_per_resource_not_per_stripe(self):
+        # Two resources that can land in the same stripe must still grant
+        # independently; the same resource must still conflict.
+        lm = LockManager(StatsRegistry(), stripes=1)
+        assert lm.try_acquire(1, "a", LockMode.X)
+        assert lm.try_acquire(2, "b", LockMode.X)
+        assert not lm.try_acquire(3, "a", LockMode.S)
+
+    def test_release_all_spans_stripes(self):
+        lm = LockManager(StatsRegistry(), stripes=4)
+        for i in range(16):
+            assert lm.try_acquire(1, f"r{i}", LockMode.X)
+        assert lm.locks_held(1) == 16
+        lm.release_all(1)
+        assert lm.locks_held(1) == 0
+        for i in range(16):
+            assert lm.try_acquire(2, f"r{i}", LockMode.S)
+
+    def test_upgrade_still_works_striped(self):
+        lm = LockManager(StatsRegistry(), stripes=8)
+        assert lm.try_acquire(1, "r", LockMode.S)
+        assert lm.try_acquire(1, "r", LockMode.X)
+        assert lm.holds(1, "r", LockMode.X)
