@@ -9,13 +9,24 @@ namespace.  This package machine-checks those contracts twice over:
 * statically: ``python -m repro.analyze src/`` runs AST-based checkers
   (:mod:`~repro.analyze.pins`, :mod:`~repro.analyze.rawdisk`,
   :mod:`~repro.analyze.lockorder`, :mod:`~repro.analyze.waldiscipline`,
-  :mod:`~repro.analyze.statshygiene`) against the tree, with a documented
-  suppression baseline (:mod:`~repro.analyze.baseline`);
+  :mod:`~repro.analyze.statshygiene`, :mod:`~repro.analyze.races`) against
+  the tree, with a documented suppression baseline
+  (:mod:`~repro.analyze.baseline`);
 * dynamically: :mod:`~repro.analyze.sanitize` arms assertions inside the
   buffer pool, lock manager, WAL and transaction manager (zero pins and
   zero locks at every transaction boundary, LSN monotonicity, witnessed
   lock order), tripped as ``sanitize.*`` counters plus
   :class:`~repro.errors.SanitizerError`.
+
+The concurrency layer extends both halves: :mod:`~repro.analyze.threads`
+derives thread roots, thread-shared fields and each field's inferred
+guarding latch from the call graph; :mod:`~repro.analyze.races` checks the
+latch discipline (``RACE001`` unguarded shared access, ``RACE002``
+check-then-act across a latch release, ``LATCH001`` latch held across a
+blocking call); and the sanitizer's Eraser-style lockset machinery
+(:class:`~repro.analyze.sanitize.TrackedLock`, ``shared_access``) witnesses
+the same guards at runtime, cross-checked against the static inference via
+``cross_check_field_guards``.
 """
 
 from repro.analyze.baseline import Baseline, BaselineError, write_baseline

@@ -13,7 +13,11 @@ File format — one entry per line::
 i.e. ``CODE<whitespace>fingerprint-without-code  # reason``.  Blank lines
 and ``#`` comment lines are ignored.  Entries *must* carry a reason: an
 undocumented entry is itself an error (the baseline is documentation, not a
-mute button).
+mute button).  Race findings (``RACE*``/``LATCH*``) are held to a stricter
+form — their comment must start with ``reason:`` — because a baselined race
+is a claim about *runtime behaviour* ("only one thread ever writes this",
+"every caller holds the engine latch") that review has to be able to find
+and challenge; a bare remark does not qualify.
 """
 
 from __future__ import annotations
@@ -62,6 +66,12 @@ class Baseline:
                 raise BaselineError(
                     f"{path}:{lineno}: expected 'CODE fingerprint  # reason'")
             code, rest = parts
+            if code.startswith(("RACE", "LATCH")) and \
+                    not reason.lower().startswith("reason:"):
+                raise BaselineError(
+                    f"{path}:{lineno}: baselined {code} entries must carry "
+                    f"a '# reason: ...' comment stating the runtime claim "
+                    f"that makes the race intentional")
             entries.append(BaselineEntry(f"{code}:{rest}", reason, lineno))
         return cls(entries)
 
@@ -86,6 +96,28 @@ class Baseline:
         suppression should be deleted (reported, not fatal)."""
         return [entry for fingerprint, entry in sorted(self.entries.items())
                 if fingerprint not in self._matched]
+
+
+def prune_stale(path: Path, stale_fingerprints: set[str]) -> int:
+    """Rewrite the baseline at ``path`` without the stale entries.
+
+    Comment and blank lines survive untouched; only entry lines whose
+    fingerprint is in ``stale_fingerprints`` are dropped.  Returns the
+    number of lines removed.
+    """
+    kept: list[str] = []
+    dropped = 0
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            body = line.partition("#")[0].split()
+            if len(body) == 2 and f"{body[0]}:{body[1]}" in \
+                    stale_fingerprints:
+                dropped += 1
+                continue
+        kept.append(raw)
+    path.write_text("\n".join(kept) + "\n")
+    return dropped
 
 
 def write_baseline(path: Path, findings: Iterable[Finding]) -> int:

@@ -14,11 +14,13 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.analyze.baseline import Baseline, BaselineError, write_baseline
+from repro.analyze.baseline import (Baseline, BaselineError, prune_stale,
+                                    write_baseline)
 from repro.analyze.excsafety import ExceptionSafetyChecker
 from repro.analyze.framework import Checker, run_checkers
 from repro.analyze.lockorder import LockOrderChecker
 from repro.analyze.pins import PinLeakChecker
+from repro.analyze.races import LatchBlockingChecker, SharedStateRaceChecker
 from repro.analyze.rawdisk import RawDiskChecker
 from repro.analyze.statshygiene import StatsHygieneChecker
 from repro.analyze.txnscope import TxnScopeChecker
@@ -38,6 +40,8 @@ def all_checkers() -> list[Checker]:
         StatsHygieneChecker(),
         ExceptionSafetyChecker(),
         TxnScopeChecker(),
+        SharedStateRaceChecker(),
+        LatchBlockingChecker(),
     ]
 
 
@@ -65,6 +69,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-checkers", action="store_true",
                         help="list shipped checkers (and each finding code "
                              "they emit) and exit")
+    parser.add_argument("--prune-stale", action="store_true",
+                        help="rewrite the baseline file dropping entries "
+                             "that no longer match any finding")
     return parser
 
 
@@ -159,14 +166,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{len(suppressed)} finding(s) suppressed by baseline "
                   f"{baseline_path}")
         for entry in stale:
-            print(f"stale baseline entry (violation fixed — delete it): "
-                  f"{entry.fingerprint}  # {entry.reason}")
+            print(f"stale baseline entry (violation fixed — delete it, or "
+                  f"run --prune-stale): {entry.fingerprint}  "
+                  f"# {entry.reason}")
         if not new:
             print(f"repro.analyze: clean "
                   f"({len(checkers)} checkers, "
                   f"{len(suppressed)} baselined finding(s))")
         else:
             print(f"repro.analyze: {len(new)} new finding(s)")
+    if args.prune_stale and stale and baseline_path is not None:
+        dropped = prune_stale(baseline_path,
+                              {entry.fingerprint for entry in stale})
+        print(f"pruned {dropped} stale entr{'y' if dropped == 1 else 'ies'} "
+              f"from {baseline_path}")
     return 2 if new else 0
 
 

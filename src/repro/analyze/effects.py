@@ -17,7 +17,13 @@ about:
 * ``flushes_page`` — may force page images to the device;
 * ``may_raise`` — contains a ``raise`` statement or calls something that
   does.  Only *proven* raisers count: an unresolved call contributes
-  nothing, so every EXC witness path ends at a real ``raise``.
+  nothing, so every EXC witness path ends at a real ``raise``;
+* ``may_block`` — may suspend the calling thread: ``time.sleep``, a
+  ``wait()`` on any synchronization object, a blocking queue ``get``, a
+  ``join`` on a thread-ish receiver, or a lock/latch ``acquire``.  The
+  latch checker (LATCH001 in :mod:`repro.analyze.races`) uses this to
+  prove a blocking call reached *through helpers* still happens while a
+  latch is held.
 
 The lattice is the powerset of effect tokens ordered by inclusion; transfer
 is union over callees, so the fixpoint exists and the worklist terminates
@@ -44,12 +50,50 @@ RETURNS_PIN = "returns_pin"
 WRITES_WAL = "writes_wal"
 FLUSHES = "flushes_page"
 MAY_RAISE = "may_raise"
+BLOCKS = "may_block"
 ACQUIRES_PREFIX = "acquires_lock:"
 
 _PIN_METHODS = {"fetch", "new_page"}
 _ACQUIRE_METHODS = {"try_acquire": 1, "lock": 0, "try_lock": 0}
 _WAL_METHODS = {"append", "checkpoint", "log", "flush"}
 _FLUSH_METHODS = {"flush_page", "flush_all"}
+
+
+def _receiver_tail(call: ast.Call) -> str:
+    """Last dotted segment of the receiver, lowercased ('' for plain)."""
+    receiver = receiver_text(call).lower()
+    return receiver.rsplit(".", 1)[-1] if receiver else ""
+
+
+def blocking_reason(call: ast.Call) -> str | None:
+    """Why ``call`` may suspend the calling thread (None = non-blocking).
+
+    Deliberately receiver-sensitive, mirroring the call-graph philosophy:
+    ``str.join`` and ``dict.get`` must not read as thread joins or queue
+    gets, so ``join``/``get`` only count on thread-ish/queue-ish receivers
+    and ``acquire`` only on lock-ish ones.  ``sleep`` and ``wait`` count
+    on any receiver — every ``wait()`` in this codebase (Event, Condition,
+    request completion) is a real suspension point.
+    """
+    name = call_name(call)
+    tail = _receiver_tail(call)
+    if name == "sleep":
+        return "sleep() suspends the thread"
+    if name == "wait":
+        return f"{tail or 'object'}.wait() blocks until signalled"
+    if name == "join" and "thread" in tail:
+        return f"{tail}.join() blocks on thread exit"
+    if name == "get" and ("queue" in tail or tail.endswith("_q")):
+        return f"{tail}.get() blocks on an empty queue"
+    if name == "acquire" and ("lock" in tail or "latch" in tail
+                              or "mutex" in tail):
+        return f"{tail}.acquire() blocks on lock acquisition"
+    if name == "lock":
+        # The transaction manager's interactive acquire: backoff-waits for
+        # a conflicting holder.  try_acquire / try_lock stay non-blocking
+        # by contract (the scheduler retries), so they do not count.
+        return "lock() may wait for a conflicting holder"
+    return None
 
 
 def acquires(lock_class: str) -> str:
@@ -284,6 +328,10 @@ class EffectAnalysis:
             elif name in _FLUSH_METHODS:
                 effects.setdefault(FLUSHES, Witness(
                     path, node.lineno, f"{name}() flushes"))
+            blocking = blocking_reason(node)
+            if blocking is not None:
+                effects.setdefault(BLOCKS, Witness(
+                    path, node.lineno, blocking))
             if name in _WAL_METHODS and is_log_receiver(node):
                 effects.setdefault(WRITES_WAL, Witness(
                     path, node.lineno,

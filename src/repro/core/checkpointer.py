@@ -29,6 +29,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING
 
+from repro.analyze import sanitize as _sanitize
 from repro.core.stats import StatsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,7 +57,10 @@ class Checkpointer:
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._wake = threading.Event()
-        self._checkpoint_requested = False
+        #: An Event rather than a bare bool: set by any committing thread,
+        #: consumed by the checkpointer thread — the flag itself must be a
+        #: synchronized object, not an unlatched field.
+        self._checkpoint_requested = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -78,6 +82,13 @@ class Checkpointer:
         self._wake.set()
         thread.join()
         self._thread = None
+        if _sanitize.enabled():
+            # Witness the owner's post-join read of the thread's error
+            # slot: the join itself is the synchronization (Eraser keeps
+            # the field in read-shared state — writer thread, then one
+            # reader — so this never trips, by design).
+            _sanitize.shared_access(self.stats, "Checkpointer", "error",
+                                    write=False)
 
     @property
     def running(self) -> bool:
@@ -94,7 +105,7 @@ class Checkpointer:
         threshold while one checkpoint is pending produce one checkpoint.
         """
         self.stats.add("ckpt.requests")
-        self._checkpoint_requested = True
+        self._checkpoint_requested.set()
         self._wake.set()
 
     # -- the background thread ---------------------------------------------
@@ -110,16 +121,22 @@ class Checkpointer:
                 # the loop; the owner (serving layer) re-raises at
                 # shutdown.  Swallowing here would hide a dead lazy
                 # writer behind slowly accreting dirty pages.
+                if _sanitize.enabled():
+                    _sanitize.shared_access(self.stats, "Checkpointer",
+                                            "error", write=True)
                 self.error = error
                 if isinstance(error, (KeyboardInterrupt, SystemExit)):
                     raise  # interpreter shutdown: do not sit on it
                 return
         # One last drain so a checkpoint requested during shutdown is not
         # silently dropped.
-        if self._checkpoint_requested and self.error is None:
+        if self._checkpoint_requested.is_set() and self.error is None:
             try:
                 self._cycle()
             except BaseException as error:  # noqa: B036 - thread boundary
+                if _sanitize.enabled():
+                    _sanitize.shared_access(self.stats, "Checkpointer",
+                                            "error", write=True)
                 self.error = error
                 if isinstance(error, (KeyboardInterrupt, SystemExit)):
                     raise
@@ -128,8 +145,8 @@ class Checkpointer:
         """One unit of background work, under the engine latch."""
         with self.db.latch:
             self.stats.add("ckpt.cycles")
-            if self._checkpoint_requested:
-                self._checkpoint_requested = False
+            if self._checkpoint_requested.is_set():
+                self._checkpoint_requested.clear()
                 self.db.txns.checkpoint()
                 self.stats.add("ckpt.background_checkpoints")
             else:

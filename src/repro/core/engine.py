@@ -93,8 +93,12 @@ class Database:
         #: while a transaction sleeps — inside the lock-wait backoff loop
         #: (``TransactionManager.lock_wait_yield``) and during victim-retry
         #: backoff (:attr:`backoff_sleep`) — which is exactly when another
-        #: session's progress is what unblocks this one.
-        self.latch = threading.RLock()
+        #: session's progress is what unblocks this one.  Wrapped in a
+        #: :class:`~repro.analyze.sanitize.TrackedLock` so the lockset
+        #: sanitizer can witness "held the engine latch" — the ambient
+        #: guard the static race analysis cannot prove for structures like
+        #: the group committer.
+        self.latch = _sanitize.TrackedLock("db.latch", threading.RLock())
         #: Jitter source for victim-retry backoff (seeded for determinism).
         self._retry_rng = random.Random(config.txn_retry_jitter_seed)
         #: How ``run_in_txn`` sleeps between victim retries.  Defaults to

@@ -14,6 +14,8 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.analyze import sanitize as _sanitize
+
 
 #: The metric registry: every counter and gauge name engine code reports.
 #:
@@ -66,6 +68,7 @@ METRICS: frozenset[str] = frozenset({
     "sanitize.pinned_at_txn_end", "sanitize.locks_at_txn_end",
     "sanitize.lock_order", "sanitize.lsn_regression",
     "sanitize.active_txns_at_close", "sanitize.accounting_overcharge",
+    "sanitize.race.lockset",
     # instrumentation facility (repro.obs.monitor / slow-query log)
     "obs.slow_queries", "obs.accounting_records",
     # serving layer (repro.serve): admission, sessions, outcomes
@@ -274,6 +277,13 @@ class StatsRegistry:
         work to whichever transaction that thread is running.
         """
         sink = getattr(self._local, "sink", None)
+        if sink is not None and name.startswith("sanitize."):
+            # Sanitizer bookkeeping is observation, not transaction work:
+            # charging it to the running txn's accounting record would make
+            # sanitized and unsanitized runs report different per-txn
+            # costs (and how many checks fire depends on thread timing,
+            # breaking the deltas-sum-to-global reconciliation).
+            sink = None
         with self._lock_for(name):
             self._counters[name] += amount
             if sink is not None:
@@ -326,11 +336,14 @@ class StatsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+        self._witness_whole_map(write=True)
 
     def counters(self) -> dict[str, int]:
         """All counters (no gauges) as a plain dict."""
         with self._all_locks():
-            return dict(self._counters)
+            copied = dict(self._counters)
+        self._witness_whole_map(write=False)
+        return copied
 
     def snapshot(self) -> dict[str, int]:
         """All counters and gauges as a plain dict.
@@ -343,7 +356,20 @@ class StatsRegistry:
             merged: dict[str, int] = dict(self._counters)
             for name, value in self._gauges.items():
                 merged[f"gauge:{name}"] = value
-            return merged
+        self._witness_whole_map(write=False)
+        return merged
+
+    def _witness_whole_map(self, write: bool) -> None:
+        """Report a whole-map operation to the lockset sanitizer.
+
+        Reported *after* the stripe region (reporting inside it would
+        recurse into :meth:`add` against the non-reentrant stripes), with
+        the stripe family attested via ``extra_held`` — every whole-map
+        operation really does hold all stripes for its duration.
+        """
+        if _sanitize.enabled():
+            _sanitize.shared_access(self, "StatsRegistry", "_counters",
+                                    write, extra_held=("stats.stripe",))
 
     # -- tracing hooks ----------------------------------------------------
 

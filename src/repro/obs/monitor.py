@@ -291,19 +291,27 @@ class Monitor:
         }
 
     def snapshot(self) -> MonitorSnapshot:
-        """One consistent copy of current engine state."""
+        """One consistent copy of current engine state.
+
+        Snapshots deliberately take no engine latch — DISPLAY-style
+        commands must work *while* the engine is busy, including when a
+        request thread is stuck holding the latch.  Each view builder is
+        therefore a latch-free read retried on torn dict iteration (see
+        :meth:`_stable`); structures with their own latches (lock stripes,
+        the accounting ring) copy under those.
+        """
         db = self.db
         return MonitorSnapshot(
             server=dict(self.server.view()) if self.server is not None
             else {},
-            buffer_pool=self._buffer_pool(),
+            buffer_pool=self._stable(self._buffer_pool),
             lock_table=self._lock_table(),
-            wal=self._wal(),
-            transactions=self._transactions(),
-            tables=self._tables(),
-            xml_stores=self._xml_stores(),
-            docid_indexes=self._docid_indexes(),
-            value_indexes=self._value_indexes(),
+            wal=self._stable(self._wal),
+            transactions=self._stable(self._transactions),
+            tables=self._stable(self._tables),
+            xml_stores=self._stable(self._xml_stores),
+            docid_indexes=self._stable(self._docid_indexes),
+            value_indexes=self._stable(self._value_indexes),
             accounting={
                 "emitted": db.txns.accounting.emitted,
                 "buffered": len(db.txns.accounting),
@@ -321,6 +329,24 @@ class Monitor:
         return self.db.txns.accounting.records()
 
     # -- view builders -----------------------------------------------------
+
+    @staticmethod
+    def _stable(build, retries: int = 4):
+        """Run a latch-free view builder, retrying torn iterations.
+
+        A concurrent begin/commit can resize ``txns.active`` (or a pool /
+        index map) mid-iteration, which CPython surfaces as a
+        ``RuntimeError``; re-reading yields a view that is merely slightly
+        newer, which is all a monitor promises.  The final attempt
+        propagates, so a *deterministic* RuntimeError in a builder is not
+        silently retried forever.
+        """
+        for _ in range(retries):
+            try:
+                return build()
+            except RuntimeError:
+                continue
+        return build()
 
     def _buffer_pool(self) -> BufferPoolView:
         pool, stats = self.db.pool, self.db.stats

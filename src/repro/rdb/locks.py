@@ -73,13 +73,27 @@ def mode_lub(a: LockMode, b: LockMode) -> LockMode:
     return _LUB[(a, b)]
 
 
+def _stripe_latch(token: str) -> object:
+    """A stripe latch: tracked when the sanitizers are armed at build time.
+
+    Token identity is the stripe *family*, not the instance — the lockset
+    discipline reasons about "some resource-stripe latch held", which is
+    the same granularity the static guard inference uses.  Plain
+    ``threading.Lock`` when disarmed: stripes are the lock manager's hot
+    path and the tracked wrapper is not free.
+    """
+    if _sanitize.enabled():
+        return _sanitize.TrackedLock(token)
+    return threading.Lock()
+
+
 class _ResourceStripe:
     """One shard of the granted-lock table, with its own latch."""
 
     __slots__ = ("latch", "granted")
 
     def __init__(self) -> None:
-        self.latch = threading.Lock()
+        self.latch = _stripe_latch("lock.resource_stripe")
         #: {resource: {txn_id: mode}}
         self.granted: dict[object, dict[int, LockMode]] = {}
 
@@ -90,7 +104,7 @@ class _TxnStripe:
     __slots__ = ("latch", "held", "waits_for")
 
     def __init__(self) -> None:
-        self.latch = threading.Lock()
+        self.latch = _stripe_latch("lock.txn_stripe")
         #: {txn_id: set of resources held}
         self.held: dict[int, set[object]] = {}
         #: {waiter txn_id: set of blocker txn_ids}
@@ -136,6 +150,9 @@ class LockManager:
         """
         stripe = self._resource_stripe(resource)
         with stripe.latch:
+            if _sanitize.enabled():
+                _sanitize.shared_access(self.stats, "LockStripe",
+                                        "granted", write=True)
             holders = stripe.granted.setdefault(resource, {})
             held = holders.get(txn_id)
             effective = mode if held is None else mode_lub(held, mode)
@@ -154,10 +171,18 @@ class LockManager:
                                    mode=effective.name,
                                    blockers=len(blockers))
             with txn_stripe.latch:
+                if _sanitize.enabled():
+                    _sanitize.shared_access(self.stats, "LockStripe",
+                                            "waits_for", write=True)
                 txn_stripe.waits_for.setdefault(txn_id, set()) \
                     .update(blockers)
             return False
         with txn_stripe.latch:
+            if _sanitize.enabled():
+                _sanitize.shared_access(self.stats, "LockStripe",
+                                        "held", write=True)
+                _sanitize.shared_access(self.stats, "LockStripe",
+                                        "waits_for", write=True)
             txn_stripe.held.setdefault(txn_id, set()).add(resource)
             txn_stripe.waits_for.pop(txn_id, None)
         self.stats.add("lock.acquired")
@@ -193,11 +218,19 @@ class LockManager:
         """
         txn_stripe = self._txn_stripe(txn_id)
         with txn_stripe.latch:
+            if _sanitize.enabled():
+                _sanitize.shared_access(self.stats, "LockStripe",
+                                        "held", write=True)
+                _sanitize.shared_access(self.stats, "LockStripe",
+                                        "waits_for", write=True)
             held = txn_stripe.held.pop(txn_id, set())
             txn_stripe.waits_for.pop(txn_id, None)
         for resource in held:
             stripe = self._resource_stripe(resource)
             with stripe.latch:
+                if _sanitize.enabled():
+                    _sanitize.shared_access(self.stats, "LockStripe",
+                                            "granted", write=True)
                 holders = stripe.granted.get(resource)
                 if holders is not None:
                     holders.pop(txn_id, None)
@@ -255,6 +288,12 @@ class LockManager:
         engine latch; the serving layer's overload guard reads it on the
         admission path.  :meth:`release_all` keeps the stripes free of
         empty edge sets, so every counted entry is a real waiter.
+
+        Deliberately *not* witnessed by the lockset sanitizer: this is the
+        one latch-free read of ``waits_for``, and it is latch-free by
+        design — witnessing it would (correctly, per the Eraser rules)
+        empty the field's candidate lockset and trip on an access the
+        engine has decided to allow.
         """
         return sum(len(stripe.waits_for) for stripe in self._txn_stripes)
 

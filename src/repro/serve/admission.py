@@ -22,9 +22,9 @@ and cached in between, so the guard costs one counter bump per request.
 from __future__ import annotations
 
 import queue
-import threading
 from typing import TYPE_CHECKING
 
+from repro.analyze import sanitize as _sanitize
 from repro.errors import ServerOverloadedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,13 +52,16 @@ class OverloadGuard:
         self._min_hit_ratio = config.serve_shed_min_hit_ratio
         self._min_touches = config.serve_shed_min_touches
         self._interval = max(1, config.serve_shed_check_interval)
-        self._lock = threading.Lock()
+        self._lock = _sanitize.TrackedLock("guard._lock")
         self._calls = 0
         self._verdict: str | None = None
 
     def check(self) -> str | None:
         """Current shed reason, re-evaluating health every Nth call."""
         with self._lock:
+            if _sanitize.enabled():
+                _sanitize.shared_access(self._stats, "OverloadGuard",
+                                        "_verdict", write=True)
             self._calls += 1
             if self._calls % self._interval == 1 or self._interval == 1:
                 self._verdict = self._evaluate()

@@ -299,12 +299,19 @@ class LoadHarness:
                 seeded_insert_txns: int) -> LoadReport:
         verify_errors = self.verify_commits(tallies, seeded_insert_txns)
         stats = self.db.stats
+        # A sanitized run is only verified if no runtime race witness
+        # tripped: a non-zero sanitize.race.* counter is a found data
+        # race even when every commit-level invariant still held.
+        for name, value in sorted(stats.counters().items()):
+            if name.startswith("sanitize.race") and value:
+                verify_errors.append(
+                    f"runtime race sanitizer tripped: {name} = {value}")
         request_hist = stats.histogram("serve.request_us")
         queue_hist = stats.histogram("serve.queue_wait_us")
         failures = [f for tally in tallies for f in tally.failures]
         counters = {name: value for name, value in stats.counters().items()
                     if name.startswith(("serve.", "txn.", "lock.", "wal.",
-                                        "ckpt."))}
+                                        "ckpt.", "sanitize."))}
         group_hist = stats.histogram("wal.group_size")
         return LoadReport(
             clients=len(tallies),

@@ -110,7 +110,13 @@ class DatabaseServer:
             config.serve_queue_limit, self.stats)
         self._threads: list[threading.Thread] = []
         self._state = "new"  # new -> serving -> draining -> closed
-        self._state_lock = threading.Lock()
+        #: Guards the server's own shared mutable state: ``_state``,
+        #: ``_busy``, ``_sessions`` and ``_crashed``.  Tracked so the
+        #: lockset sanitizer witnesses it on every guarded access.  Never
+        #: acquired while holding ``db.latch``-ordered engine locks except
+        #: as latch -> _state_lock (shutdown's crash note); the reverse
+        #: nesting is forbidden.
+        self._state_lock = _sanitize.TrackedLock("server._state_lock")
         self._busy = 0
         self._session_ids = itertools.count(1)
         self._sessions: dict[int, Session] = {}
@@ -126,14 +132,17 @@ class DatabaseServer:
                 trickle_pages=config.ckpt_trickle_pages)
         #: First :class:`SimulatedCrash` a worker hit, if any (a crash
         #: plan fired mid-request): the server stops admitting and the
-        #: harness re-raises it from :meth:`shutdown`.
-        self.crashed: SimulatedCrash | None = None
+        #: harness re-raises it from :meth:`shutdown`.  Workers and the
+        #: shutdown path race to record it, so all access goes through
+        #: ``_state_lock`` (:meth:`_note_crash` / :attr:`crashed`).
+        self._crashed: SimulatedCrash | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "DatabaseServer":
         """Install the engine yield hooks and start the worker pool."""
         with self._state_lock:
+            self._witness("_state", write=True)
             if self._state != "new":
                 raise ServerClosedError(
                     f"server cannot start from state {self._state!r}")
@@ -169,6 +178,7 @@ class DatabaseServer:
         accounting over-charge cross-check runs.  Idempotent.
         """
         with self._state_lock:
+            self._witness("_state", write=True)
             if self._state in ("closed", "new"):
                 self._state = "closed"
                 return
@@ -181,8 +191,12 @@ class DatabaseServer:
             thread.join()
         self._threads.clear()
         self._purge_queue()  # requests admitted after the sentinels
+        with self._state_lock:
+            self._witness("_sessions", write=True)
+            abandoned = list(self._sessions.values())
+            self._sessions.clear()
         with self.db.latch:
-            for session in list(self._sessions.values()):
+            for session in abandoned:
                 session.closed = True
                 try:
                     self._rollback_abandoned(session)
@@ -190,29 +204,29 @@ class DatabaseServer:
                     # A halted log (crash mid group force) makes the
                     # abort's ABORT append re-raise the crash; keep
                     # tearing down — shutdown re-raises it at the end.
-                    if self.crashed is None:
-                        self.crashed = crash
-        self._sessions.clear()
+                    self._note_crash(crash)
         ckpt_error: BaseException | None = None
         if self.checkpointer is not None:
             self.checkpointer.stop()
             self.db.txns.checkpoint_async = None
             ckpt_error = self.checkpointer.error
             if isinstance(ckpt_error, SimulatedCrash):
-                if self.crashed is None:
-                    self.crashed = ckpt_error
+                self._note_crash(ckpt_error)
                 ckpt_error = None
         self.db.txns.lock_wait_yield = None
         self.db.backoff_sleep = None
         if self.db.group_commit is not None:
             self.db.group_commit.yield_wait = None
         with self._state_lock:
-            self._state = "closed"
+            self._witness("_state", write=True)
+            if self._state != "closed":
+                self._state = "closed"
         if _sanitize.enabled():
             _sanitize.check_accounting_caps(
                 self.stats, self.db.txns.accounting.records())
-        if self.crashed is not None:
-            raise self.crashed
+        crashed = self.crashed
+        if crashed is not None:
+            raise crashed
         if ckpt_error is not None:
             # A real bug killed the lazy writer: surface it rather than
             # finish a "clean" shutdown over a dead background thread.
@@ -226,17 +240,44 @@ class DatabaseServer:
 
     @property
     def state(self) -> str:
-        return self._state
+        with self._state_lock:
+            self._witness("_state", write=False)
+            return self._state
+
+    @property
+    def crashed(self) -> SimulatedCrash | None:
+        with self._state_lock:
+            self._witness("_crashed", write=False)
+            return self._crashed
+
+    def _note_crash(self, crash: SimulatedCrash) -> None:
+        """Record the first simulated crash; later ones lose the race."""
+        with self._state_lock:
+            self._witness("_crashed", write=True)
+            if self._crashed is None:
+                self._crashed = crash
+
+    def _witness(self, field: str, write: bool) -> None:
+        """Report one shared-field access to the lockset sanitizer."""
+        if _sanitize.enabled():
+            _sanitize.shared_access(self.stats, "DatabaseServer", field,
+                                    write)
 
     # -- sessions ----------------------------------------------------------
 
     def session(self) -> Session:
         """Open a new client session."""
-        if self._state != "serving":
-            raise ServerClosedError(
-                f"server is {self._state}, not accepting sessions")
         session = Session(self, next(self._session_ids))
-        self._sessions[session.session_id] = session
+        with self._state_lock:
+            self._witness("_sessions", write=True)
+            if self._state != "serving":
+                raise ServerClosedError(
+                    f"server is {self._state}, not accepting sessions")
+            # Registered in the same critical section as the state check:
+            # a session admitted here is either rolled back by its owner
+            # or captured by shutdown's copy of the map — never lost to a
+            # serving->draining flip between check and insert.
+            self._sessions[session.session_id] = session
         self.stats.add("serve.sessions_opened")
         return session
 
@@ -246,7 +287,9 @@ class DatabaseServer:
         Runs on the client's thread (not through the admission queue) so
         sessions can still be closed while the server drains.
         """
-        self._sessions.pop(session.session_id, None)
+        with self._state_lock:
+            self._witness("_sessions", write=True)
+            self._sessions.pop(session.session_id, None)
         with self.db.latch:
             self._rollback_abandoned(session)
         self.stats.add("serve.sessions_closed")
@@ -275,11 +318,12 @@ class DatabaseServer:
                work: Callable[["Database"], Any], label: str,
                deadline: Deadline | None) -> _Request:
         """Admit one request (or shed it); returns without waiting."""
-        if self._state != "serving":
+        state = self.state
+        if state != "serving":
             self.stats.add("serve.requests")
             self.stats.add("serve.shed_closed")
             raise ServerClosedError(
-                f"server is {self._state}; request {label!r} rejected")
+                f"server is {state}; request {label!r} rejected")
         request = _Request(session, work, label, deadline,
                            time.monotonic_ns())
         self.admission.admit(request)
@@ -303,12 +347,16 @@ class DatabaseServer:
             request = self.admission.queue.get()
             if request is None:
                 return
-            self._busy += 1
+            with self._state_lock:
+                self._witness("_busy", write=True)
+                self._busy += 1
             try:
                 if not self._process(request):
                     return
             finally:
-                self._busy -= 1
+                with self._state_lock:
+                    self._witness("_busy", write=True)
+                    self._busy -= 1
 
     def _process(self, request: _Request) -> bool:
         """Run one request; False tells the worker to stop (crash)."""
@@ -326,9 +374,9 @@ class DatabaseServer:
         except SimulatedCrash as crash:
             # A crash plan fired on this worker: the simulated process is
             # dead.  Record it, stop admitting, and let shutdown re-raise.
-            if self.crashed is None:
-                self.crashed = crash
+            self._note_crash(crash)
             with self._state_lock:
+                self._witness("_state", write=True)
                 if self._state == "serving":
                     self._state = "draining"
             request.finish(error=crash)
@@ -406,13 +454,20 @@ class DatabaseServer:
     def view(self) -> dict:
         """Live server state for ``Monitor`` (DISPLAY THREAD analogue)."""
         stats = self.stats
+        with self._state_lock:
+            self._witness("_state", write=False)
+            self._witness("_busy", write=False)
+            self._witness("_sessions", write=False)
+            state = self._state
+            busy = self._busy
+            sessions_open = len(self._sessions)
         return {
-            "state": self._state,
+            "state": state,
             "workers": self.workers,
-            "busy": self._busy,
+            "busy": busy,
             "queue_depth": self.admission.depth(),
             "queue_limit": self.admission.queue.maxsize,
-            "sessions_open": len(self._sessions),
+            "sessions_open": sessions_open,
             "requests": stats.get("serve.requests"),
             "admitted": stats.get("serve.admitted"),
             "completed": stats.get("serve.completed"),

@@ -1,6 +1,7 @@
 """Runtime sanitizers: trips, counters, and engine wiring."""
 
 import textwrap
+import threading
 
 import pytest
 
@@ -221,6 +222,189 @@ class TestLockSummaryCrossCheck:
         assert "'node'" in issues[0]
 
 
+def in_thread(fn):
+    """Run ``fn`` to completion on a fresh thread; re-raise its error."""
+    box: list = []
+    failure: list = []
+
+    def runner():
+        try:
+            box.append(fn())
+        except BaseException as exc:  # noqa: BLE001 - test harness relay
+            failure.append(exc)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join()
+    if failure:
+        raise failure[0]
+    return box[0] if box else None
+
+
+class TestTrackedLock:
+    def test_with_region_pushes_and_pops_the_token(self, armed):
+        latch = sanitize.TrackedLock("db.latch")
+        assert sanitize.held_lock_tokens() == ()
+        with latch:
+            assert sanitize.held_lock_tokens() == ("db.latch",)
+        assert sanitize.held_lock_tokens() == ()
+
+    def test_rlock_reentry_pushes_once_per_level(self, armed):
+        latch = sanitize.TrackedLock("db.latch", threading.RLock())
+        with latch:
+            with latch:
+                assert sanitize.held_lock_tokens() == ("db.latch",
+                                                       "db.latch")
+            assert sanitize.held_lock_tokens() == ("db.latch",)
+        assert sanitize.held_lock_tokens() == ()
+
+    def test_failed_release_keeps_the_held_stack_truthful(self, armed):
+        # _latch_sleep releases and re-acquires around a sleep; if the
+        # release itself raises, the latch is still held and the token
+        # must stay.
+        latch = sanitize.TrackedLock("server._state_lock")
+        with latch:
+            with pytest.raises(RuntimeError):
+                sanitize.TrackedLock("server._state_lock").release()
+            assert sanitize.held_lock_tokens() == ("server._state_lock",)
+
+    def test_failed_nonblocking_acquire_pushes_nothing(self, armed):
+        inner = threading.Lock()
+        latch = sanitize.TrackedLock("guard._lock", inner)
+        in_thread(inner.acquire)  # held by (defunct) other thread
+        assert latch.acquire(blocking=False) is False
+        assert sanitize.held_lock_tokens() == ()
+
+    def test_disarmed_latch_is_a_plain_lock(self):
+        sanitize.disable()
+        latch = sanitize.TrackedLock("db.latch")
+        with latch:
+            assert sanitize.held_lock_tokens() == ()
+
+
+class TestLocksetDiscipline:
+    KEY = ("Server", "jobs")
+
+    def test_single_thread_init_phase_is_benign(self, armed, stats):
+        # build_database-style pre-population: latch-free writes from one
+        # thread never trip — Eraser defers judgement while exclusive.
+        for _ in range(3):
+            sanitize.shared_access(stats, *self.KEY, write=True)
+        assert sanitize.witnessed_field_states()[self.KEY] == "exclusive"
+        assert stats.get("sanitize.race.lockset") == 0
+        assert stats.get("sanitize.checks") == 3
+
+    def test_second_thread_replaces_the_universal_lockset(self, armed,
+                                                          stats):
+        latch = sanitize.TrackedLock("db.latch")
+        sanitize.shared_access(stats, *self.KEY, write=True)  # latch-free
+
+        def worker():
+            with latch:
+                sanitize.shared_access(stats, *self.KEY, write=True)
+
+        in_thread(worker)
+        # C(v) was universal through the exclusive phase: the first
+        # second-thread access replaces, not intersects, so the latch-free
+        # init does not poison the candidate set.
+        assert sanitize.witnessed_locksets()[self.KEY] == \
+            frozenset(("db.latch",))
+        assert sanitize.witnessed_field_states()[self.KEY] == \
+            "shared-modified"
+        assert stats.get("sanitize.race.lockset") == 0
+
+    def test_disjoint_locksets_trip_once(self, armed, stats):
+        latch_a = sanitize.TrackedLock("server._state_lock")
+        latch_b = sanitize.TrackedLock("guard._lock")
+        with latch_a:
+            sanitize.shared_access(stats, *self.KEY, write=True)
+
+        def worker():
+            with latch_b:
+                sanitize.shared_access(stats, *self.KEY, write=True)
+
+        in_thread(worker)
+        with latch_a, pytest.raises(SanitizerError,
+                                    match="no latch consistently guards"):
+            sanitize.shared_access(stats, *self.KEY, write=True)
+        assert stats.get("sanitize.race.lockset") == 1
+        assert sanitize.witnessed_locksets()[self.KEY] == frozenset()
+        # Tripped fields report once, not per access.
+        with latch_a:
+            sanitize.shared_access(stats, *self.KEY, write=True)
+        assert stats.get("sanitize.race.lockset") == 1
+
+    def test_consistently_guarded_reads_stay_shared(self, armed, stats):
+        latch = sanitize.TrackedLock("stats.stripe")
+        with latch:
+            sanitize.shared_access(stats, *self.KEY, write=True)
+
+        def reader():
+            with latch:
+                sanitize.shared_access(stats, *self.KEY, write=False)
+
+        in_thread(reader)
+        assert sanitize.witnessed_field_states()[self.KEY] == "shared"
+        assert sanitize.witnessed_locksets()[self.KEY] == \
+            frozenset(("stats.stripe",))
+
+    def test_extra_held_stands_in_for_released_stripes(self, armed, stats):
+        # The stats registry reports its whole-map ops *after* leaving the
+        # stripe region (reporting inside would recurse into stats.add);
+        # extra_held carries the latch it verifiably held.
+        sanitize.shared_access(stats, "StatsRegistry", "_counters",
+                               write=True, extra_held=("stats.stripe",))
+        in_thread(lambda: sanitize.shared_access(
+            stats, "StatsRegistry", "_counters", write=True,
+            extra_held=("stats.stripe",)))
+        key = ("StatsRegistry", "_counters")
+        assert sanitize.witnessed_locksets()[key] == \
+            frozenset(("stats.stripe",))
+        assert stats.get("sanitize.race.lockset") == 0
+
+    def test_disarmed_access_is_a_no_op(self, stats):
+        sanitize.disable()
+        sanitize.shared_access(stats, *self.KEY, write=True)
+        assert stats.get("sanitize.checks") == 0
+        assert sanitize.witnessed_locksets() == {}
+
+
+class TestFieldGuardCrossCheck:
+    def _witness(self, stats, token, cls="DatabaseServer", field="_state"):
+        latch = sanitize.TrackedLock(token)
+
+        def access():
+            with latch:
+                sanitize.shared_access(stats, cls, field, write=True)
+
+        access()
+        in_thread(access)
+
+    def test_agreement_is_silent(self, armed, stats):
+        self._witness(stats, "server._state_lock")
+        triples = [("DatabaseServer", "_state", "_state_lock")]
+        assert sanitize.cross_check_field_guards(triples) == []
+
+    def test_wrong_static_guard_is_a_discrepancy(self, armed, stats):
+        self._witness(stats, "server._state_lock")
+        issues = sanitize.cross_check_field_guards(
+            [("DatabaseServer", "_state", "db.latch")])
+        assert len(issues) == 1
+        assert "never hold it" in issues[0]
+
+    def test_unexercised_fields_are_skipped(self, armed, stats):
+        assert sanitize.cross_check_field_guards(
+            [("Ghost", "field", "db.latch")]) == []
+
+    def test_tokens_compare_by_tail(self, armed, stats):
+        # Static factory-call tokens ('_lock_for()') and runtime family
+        # tokens ('lock._lock_for') meet at the tail.
+        self._witness(stats, "lock._lock_for", cls="LockStripe",
+                      field="granted")
+        assert sanitize.cross_check_field_guards(
+            [("LockStripe", "granted", "_lock_for()")]) == []
+
+
 class TestWalSanitizers:
     def test_lsn_regression_trips(self, armed, stats):
         with pytest.raises(SanitizerError, match="regressed"):
@@ -280,5 +464,6 @@ class TestEngineWiring:
                      "sanitize.pinned_at_txn_end",
                      "sanitize.locks_at_txn_end", "sanitize.lock_order",
                      "sanitize.lsn_regression",
-                     "sanitize.active_txns_at_close"):
+                     "sanitize.active_txns_at_close",
+                     "sanitize.race.lockset"):
             assert name in METRICS

@@ -25,9 +25,14 @@ def summed(records) -> Counter:
 
 
 def txn_visible(deltas: dict) -> dict:
-    """Drop meta-counters bumped outside any charge context."""
+    """Drop meta-counters bumped outside any charge context.
+
+    ``obs.*`` and ``sanitize.*`` are observation machinery, not
+    transaction work; the registry never charges them to accounting
+    records (sanitized runs must reconcile identically to plain runs).
+    """
     return {name: value for name, value in deltas.items()
-            if value and not name.startswith("obs.")}
+            if value and not name.startswith(("obs.", "sanitize."))}
 
 
 class TestHistogram:

@@ -16,6 +16,7 @@ from repro.analyze import sanitize
 from repro.core.checkpointer import Checkpointer
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.engine import Database
+from repro.errors import FaultInjectionError
 from repro.fault.harness import verify_value_indexes
 from repro.serve import DatabaseServer
 
@@ -151,3 +152,39 @@ class TestInterleaving:
         for name in ("sanitize.lock_order", "sanitize.double_unpin",
                      "sanitize.lsn_regression"):
             assert db.stats.get(name) == 0
+
+
+class TestThreadSafetyRegressions:
+    """Pin the RACE fixes: the request flag is an Event, the error slot
+    is witnessed and synchronized by the thread join."""
+
+    def test_request_posted_before_shutdown_is_not_lost(self):
+        db = make_db()
+        insert_docs(db, 4)
+        ckpt = Checkpointer(db, interval=60.0)  # idle loop: only the
+        ckpt.start()                            # request can wake it
+        ckpt.request_checkpoint()
+        ckpt.stop()  # the final drain must run a still-pending request
+        assert ckpt.error is None
+        assert db.stats.get("ckpt.background_checkpoints") >= 1
+        assert db.pool.dirty_count() == 0
+
+    def test_error_capture_survives_the_lockset_discipline(self, armed):
+        db = make_db()
+
+        def torn_checkpoint():
+            raise FaultInjectionError("checkpoint torn")
+
+        db.txns.checkpoint = torn_checkpoint
+        ckpt = Checkpointer(db, interval=0.001)
+        ckpt.start()
+        ckpt.request_checkpoint()
+        assert wait_for(lambda: ckpt.error is not None)
+        ckpt.stop()
+        assert isinstance(ckpt.error, FaultInjectionError)
+        # Writer thread, then the owner's post-join read: Eraser keeps
+        # the slot in read-shared state — never shared-modified, so the
+        # empty lockset is fine and nothing trips.
+        assert db.stats.get("sanitize.race.lockset") == 0
+        assert sanitize.witnessed_field_states()[
+            ("Checkpointer", "error")] == "shared"

@@ -9,8 +9,10 @@ between ``waiter_count``, ``waits_for_edges`` and ``find_deadlock``,
 plus basic correctness of the striped tables themselves.
 """
 
+import threading
 from dataclasses import replace
 
+from repro.analyze import sanitize
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.engine import Database
 from repro.core.stats import StatsRegistry
@@ -108,3 +110,43 @@ class TestStripedTables:
         assert lm.try_acquire(1, "r", LockMode.S)
         assert lm.try_acquire(1, "r", LockMode.X)
         assert lm.holds(1, "r", LockMode.X)
+
+
+class TestStripeLatchWitnessing:
+    """Stripe latches built while the sanitizers are armed are tracked,
+    so the lockset discipline witnesses every striped-table mutation."""
+
+    def test_concurrent_acquires_witness_the_stripe_latches(self):
+        sanitize.enable()
+        sanitize.reset_witness()
+        try:
+            lm = LockManager(StatsRegistry(), stripes=4)
+            barrier = threading.Barrier(4)
+
+            def txn_body(txn_id):
+                barrier.wait()
+                for i in range(8):
+                    lm.try_acquire(txn_id, f"r{txn_id}-{i}", LockMode.X)
+                lm.release_all(txn_id)
+
+            threads = [threading.Thread(target=txn_body, args=(t,))
+                       for t in range(1, 5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            locksets = sanitize.witnessed_locksets()
+            assert locksets[("LockStripe", "granted")] == \
+                frozenset(("lock.resource_stripe",))
+            assert locksets[("LockStripe", "held")] == \
+                frozenset(("lock.txn_stripe",))
+            assert lm.stats.get("sanitize.race.lockset") == 0
+        finally:
+            sanitize.reset_witness()
+
+    def test_disarmed_stripes_use_plain_locks(self):
+        sanitize.disable()
+        lm = LockManager(StatsRegistry(), stripes=2)
+        assert lm.try_acquire(1, "r", LockMode.X)
+        lm.release_all(1)
+        assert sanitize.witnessed_locksets() == {}

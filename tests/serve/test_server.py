@@ -2,12 +2,17 @@
 
 import threading
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
+from repro.analyze import sanitize
+from repro.analyze.framework import Program, SourceModule
+from repro.analyze.threads import ThreadAnalysis
 from repro.core.config import DEFAULT_CONFIG
 from repro.core.engine import Database
 from repro.errors import ServerClosedError, TransactionError
+from repro.fault.injector import SimulatedCrash
 from repro.obs.monitor import Monitor
 from repro.rdb.locks import LockMode
 from repro.serve import DatabaseServer
@@ -200,3 +205,147 @@ class TestServing:
         for name in ("serve.request_us", "serve.queue_wait_us"):
             hist = db.stats.histogram(name)
             assert hist is not None and hist.count == 3
+
+
+class TestThreadSafetyRegressions:
+    """Pin the fixes the RACE/LATCH checkers forced on the serving layer."""
+
+    def test_first_crash_wins(self):
+        # RACE fix: workers and the shutdown path race to record a crash;
+        # _note_crash is latched and first-write-wins, so shutdown always
+        # re-raises the crash that actually stopped the server.
+        db = make_db()
+        server = DatabaseServer(db).start()
+        server._note_crash(SimulatedCrash("first", 1))
+        server._note_crash(SimulatedCrash("second", 1))
+        assert "first" in str(server.crashed)
+        with pytest.raises(SimulatedCrash, match="first"):
+            server.shutdown()
+
+    def test_session_open_races_shutdown_without_leaking(self):
+        # RACE002 fix: session() checks the state and registers the
+        # session in ONE _state_lock region, so a serving->draining flip
+        # cannot slip between check and insert.  Every opener either gets
+        # a session (rolled back or closed) or the typed rejection.
+        db = make_db(serve_workers=2)
+        server = DatabaseServer(db).start()
+        proceed = threading.Event()
+        outcomes: list = []
+
+        def opener():
+            proceed.wait()
+            try:
+                session = server.session()
+                session.close()
+                outcomes.append("opened")
+            except ServerClosedError:
+                outcomes.append("rejected")
+
+        threads = [threading.Thread(target=opener) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        proceed.set()
+        server.shutdown()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 8
+        assert set(outcomes) <= {"opened", "rejected"}
+        assert server.view()["sessions_open"] == 0
+        assert server.state == "closed"
+
+    def test_witnessed_locksets_agree_with_static_inference(self):
+        # The headline cross-check: the guards ThreadAnalysis infers from
+        # the AST must be the latches the lockset sanitizer actually
+        # witnesses protecting each field at runtime.
+        sanitize.enable()
+        sanitize.reset_witness()
+        try:
+            db = make_db(serve_workers=4)
+            with DatabaseServer(db) as server:
+                workers = [threading.Thread(target=self._hammer,
+                                            args=(server, i))
+                           for i in range(6)]
+                for thread in workers:
+                    thread.start()
+                for thread in workers:
+                    thread.join()
+            locksets = sanitize.witnessed_locksets()
+            assert locksets[("DatabaseServer", "_state")] == \
+                frozenset(("server._state_lock",))
+            program = Program()
+            server_src = Path("src/repro/serve/server.py")
+            program.add(SourceModule(server_src, Path("src")))
+            analysis = ThreadAnalysis(program)
+            triples = [(cls, field, guard)
+                       for (cls, field), guards in
+                       analysis.inferred_guards().items()
+                       for guard in guards]
+            assert any(cls == "DatabaseServer" for cls, _, _ in triples)
+            assert sanitize.cross_check_field_guards(triples) == []
+        finally:
+            sanitize.reset_witness()
+
+    @staticmethod
+    def _hammer(server, index):
+        with server.session() as session:
+            session.insert("docs", (f"x{index}", DOC.format(i=index)))
+            session.query("docs", "doc", "/Product/Name")
+        server.view()
+
+
+class TestMonitorUnderLoad:
+    def test_health_and_snapshot_race_a_mutating_workload(self):
+        # Monitor reads are latch-free by design; with the sanitizers
+        # armed, polling health() and snapshot() from watcher threads
+        # while clients mutate stats and engine state must neither raise
+        # nor trip a single runtime race witness.
+        sanitize.enable()
+        sanitize.reset_witness()
+        try:
+            db = make_db(serve_workers=4, serve_queue_limit=256)
+            stop = threading.Event()
+            failures: list = []
+
+            def watcher():
+                while not stop.is_set():
+                    try:
+                        health = monitor.health()
+                        assert 0.0 <= health["buffer_hit_ratio"] <= 1.0
+                        snap = monitor.snapshot()
+                        assert snap.server["workers"] == 4
+                    except Exception as error:  # noqa: BLE001 - tally all
+                        failures.append(error)
+                        return
+
+            def client(index):
+                try:
+                    with server.session() as session:
+                        for op in range(4):
+                            session.insert(
+                                "docs",
+                                (f"m{index}-{op}", DOC.format(i=index)))
+                            session.query("docs", "doc", "/Product/Name")
+                except Exception as error:  # noqa: BLE001 - tally all
+                    failures.append(error)
+
+            with DatabaseServer(db) as server:
+                monitor = server.monitor
+                watchers = [threading.Thread(target=watcher)
+                            for _ in range(2)]
+                clients = [threading.Thread(target=client, args=(i,))
+                           for i in range(8)]
+                for thread in watchers + clients:
+                    thread.start()
+                for thread in clients:
+                    thread.join()
+                stop.set()
+                for thread in watchers:
+                    thread.join()
+            assert not failures
+            assert db.stats.get("sanitize.checks") > 0
+            trips = {name: value
+                     for name, value in db.stats.counters().items()
+                     if name.startswith("sanitize.race") and value}
+            assert trips == {}
+        finally:
+            sanitize.reset_witness()
