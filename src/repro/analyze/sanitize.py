@@ -115,10 +115,22 @@ def clear_tracked_pools() -> None:
 
 
 def check_pool_quiesced(pool: Any, stats: "StatsRegistry",
-                        where: str = "txn end") -> None:
-    """Assert no frame of ``pool`` is pinned (transaction boundary check)."""
+                        where: str = "txn end",
+                        scope: str = "global") -> None:
+    """Assert no frame of ``pool`` is pinned (transaction boundary check).
+
+    ``scope="thread"`` restricts the probe to pins taken by the calling
+    thread (:meth:`BufferPool.pinned_by_caller`) — the right scope at the
+    end of a *transaction*, which runs on one thread: a concurrent pin
+    from a latch-free monitor snapshot on another thread is transient,
+    not this transaction's leak.  Shutdown checks keep the global scope
+    (every thread must have quiesced by then).
+    """
     stats.add("sanitize.checks")
-    pinned = pool.pinned_pages()
+    if scope == "thread" and hasattr(pool, "pinned_by_caller"):
+        pinned = pool.pinned_by_caller()
+    else:
+        pinned = pool.pinned_pages()
     if pinned:
         trip(stats, "pinned_at_txn_end",
              f"{len(pinned)} frame(s) still pinned at {where}: "
@@ -473,6 +485,29 @@ def check_accounting_caps(stats: "StatsRegistry",
                  f"accounting records charge {charged} of {name!r} but the "
                  f"global counter only saw {total} — per-txn attribution "
                  f"double-counted under concurrency")
+
+
+def check_wait_reconcile(stats: "StatsRegistry", wait_us: int,
+                         elapsed_us: int) -> None:
+    """Assert a wait clock's per-class waits fit inside its elapsed time.
+
+    ``wait_us`` is the sum over the clock's per-class breakdown;
+    ``elapsed_us`` the clock's own wall-clock span.  Wait regions are
+    non-overlapping sub-intervals of the clocked interval measured on the
+    same monotonic clock and the same thread, and each charge rounds down
+    to whole microseconds, so Σ waits ≤ elapsed holds *mathematically* for
+    correct instrumentation — a violation means a suspension was charged
+    twice (nested ``wait_timer`` regions) or charged from a thread the
+    clock does not cover.  The registry's ``request_clock`` runs this on
+    every exit while sanitizers are armed.
+    """
+    stats.add("sanitize.checks")
+    if wait_us > elapsed_us:
+        trip(stats, "waits.reconcile",
+             f"wait clock charged {wait_us}us of suspensions into an "
+             f"interval only {elapsed_us}us long — a wait class was "
+             f"double-charged (nested wait_timer?) or charged from a "
+             f"thread this clock does not cover")
 
 
 # -- WAL -------------------------------------------------------------------

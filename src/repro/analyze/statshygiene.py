@@ -17,6 +17,19 @@ garbage.  Three invariants keep the namespace sound:
 * **STAT003** — the same single-registration rule for histograms: every
   literal ``observe()`` name must appear in ``HISTOGRAMS`` beside
   ``METRICS``, so distribution metrics get the same typo protection.
+* **STAT004** — wait-state discipline, two halves.  (a) Every literal
+  wait class passed to ``wait_timer()``/``charge_wait()`` must appear in
+  the ``WAITS`` registry — a typo'd class would silently charge a
+  counter the profilers never fold in.  (b) Every blocking sleep
+  (``time.sleep(...)`` or the engine's bare ``sleep(...)`` alias) must be
+  lexically inside a ``with`` whose items include a ``wait_timer(...)``
+  call, so no suspension site can dodge the wait clock.  The one
+  allowlisted scope is ``DatabaseServer._latch_sleep`` — the
+  release-sleep-reacquire yield primitive whose callers (lock-wait
+  backoff, the group-commit window, retry backoff) each charge their own
+  class; timing it again here would double-count every yielded wait.
+  ``Event.wait``/``queue.get`` coordination waits are out of scope by
+  documented choice: they park worker threads, not units of work.
 """
 
 from __future__ import annotations
@@ -34,8 +47,16 @@ _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 _REGISTERED_METHODS = {"add", "set_high_water"}
 #: Entry points taking a histogram name (checked against HISTOGRAMS).
 _HISTOGRAM_METHODS = {"observe"}
+#: Entry points taking a wait-class name (checked against WAITS).
+_WAIT_METHODS = {"wait_timer", "charge_wait"}
 _CONVENTION_ONLY_METHODS = {"trace", "trace_event", "get", "gauge",
                             "histogram"}
+
+#: Scopes whose bare sleeps are the engine's latch-yield primitive: the
+#: *callers* charge the wait (lock.wait, wal.group_commit,
+#: txn.retry_backoff), so a timer here would nest and double-count.
+#: Qualnames, same shape the race checkers use for entry roots.
+_SLEEP_ALLOWLIST = {"DatabaseServer._latch_sleep"}
 
 _STATSISH = re.compile(r"(^|\.|_)stats$", re.IGNORECASE)
 
@@ -52,32 +73,57 @@ def _is_stats_receiver(call: ast.Call) -> bool:
     return False
 
 
+def _is_sleep_call(call: ast.Call) -> bool:
+    """``time.sleep(...)`` or the engine's bare ``sleep(...)`` alias.
+
+    Method sleeps on other receivers (``deadline.sleep(...)``) are *not*
+    sleep sites: :meth:`Deadline.sleep` charges its own wait class
+    internally, which is exactly why callers go through it.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "sleep" and \
+            isinstance(func.value, ast.Name) and func.value.id == "time"
+    return isinstance(func, ast.Name) and func.id == "sleep"
+
+
+def _is_wait_timer_item(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Call) and \
+        isinstance(expr.func, ast.Attribute) and \
+        expr.func.attr == "wait_timer"
+
+
 class StatsHygieneChecker(Checker):
-    """STAT001/STAT002/STAT003: metric naming convention and registration."""
+    """STAT001-004: metric naming, registration, and wait discipline."""
 
     name = "stats-hygiene"
-    codes = ("STAT001", "STAT002", "STAT003")
+    codes = ("STAT001", "STAT002", "STAT003", "STAT004")
     description = ("counter/gauge/histogram names follow component.metric "
                    "and are registered in repro.core.stats METRICS / "
-                   "HISTOGRAMS")
+                   "HISTOGRAMS; wait classes are registered in WAITS and "
+                   "every blocking sleep is charged to one")
 
     def __init__(self) -> None:
         self.registry: set[str] | None = None
         self.histogram_registry: set[str] | None = None
+        self.wait_registry: set[str] | None = None
         #: (module, call node info) of registered-method uses, checked in
         #: finish() once the registry module has been seen.
         self._uses: list[tuple[str, int, int, str, str]] = []
         self._observe_uses: list[tuple[str, int, int, str, str]] = []
+        self._wait_uses: list[tuple[str, int, int, str, str]] = []
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         if module.relpath.endswith("core/stats.py"):
             self.registry = _extract_registry(module.tree, "METRICS")
             self.histogram_registry = _extract_registry(module.tree,
                                                         "HISTOGRAMS")
+            self.wait_registry = _extract_registry(module.tree, "WAITS")
         for call in module.calls():
             method = call_name(call)
             if method not in _REGISTERED_METHODS and \
                     method not in _HISTOGRAM_METHODS and \
+                    method not in _WAIT_METHODS and \
                     method not in _CONVENTION_ONLY_METHODS:
                 continue
             if not _is_stats_receiver(call):
@@ -89,6 +135,13 @@ class StatsHygieneChecker(Checker):
                     isinstance(arg.value, str)):
                 continue  # dynamic names are the registry's blind spot
             metric = arg.value
+            if method in _WAIT_METHODS:
+                # Wait classes are dotted but checked against WAITS, not
+                # METRICS (their counters are derived via wait_counter).
+                self._wait_uses.append(
+                    (module.relpath, call.lineno, call.col_offset,
+                     module.scope_of(call), metric))
+                continue
             if not _NAME_RE.match(metric):
                 yield module.finding(
                     "STAT001", self.name, call,
@@ -103,8 +156,46 @@ class StatsHygieneChecker(Checker):
                 self._observe_uses.append(
                     (module.relpath, call.lineno, call.col_offset,
                      module.scope_of(call), metric))
+        yield from self._check_sleep_discipline(module)
+
+    def _check_sleep_discipline(self, module: SourceModule
+                                ) -> Iterator[Finding]:
+        """STAT004(b): every blocking sleep runs under a wait timer."""
+        covered: set[int] = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(_is_wait_timer_item(item.context_expr)
+                       for item in node.items):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and _is_sleep_call(inner):
+                    covered.add(id(inner))
+        for call in module.calls():
+            if not _is_sleep_call(call) or id(call) in covered:
+                continue
+            scope = module.scope_of(call)
+            if scope in _SLEEP_ALLOWLIST:
+                continue
+            yield module.finding(
+                "STAT004", self.name, call,
+                f"blocking sleep in {scope or 'module scope'} is not "
+                f"charged to any wait class — wrap it in "
+                f"stats.wait_timer(<class>) (or add the scope to the "
+                f"documented latch-yield allowlist)",
+                detail=scope)
 
     def finish(self) -> Iterator[Finding]:
+        if self.wait_registry is not None:
+            for path, line, column, scope, wait_class in self._wait_uses:
+                if wait_class in self.wait_registry:
+                    continue
+                yield Finding(
+                    code="STAT004", checker=self.name, path=path, line=line,
+                    column=column, scope=scope, detail=wait_class,
+                    message=(f"wait class {wait_class!r} is not registered "
+                             f"in repro.core.stats.WAITS — register it "
+                             f"once there (or fix the typo)"))
         if self.registry is not None:
             for path, line, column, scope, metric in self._uses:
                 if metric in self.registry:

@@ -27,6 +27,7 @@ log record is still volatile.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING
 
 from repro.analyze import sanitize as _sanitize
@@ -142,8 +143,21 @@ class Checkpointer:
                     raise
 
     def _cycle(self) -> None:
-        """One unit of background work, under the engine latch."""
+        """One unit of background work, under the engine latch.
+
+        The latch acquisition is charged to the ``ckpt.interference`` wait
+        class: time the background writer spent blocked behind foreground
+        request workers (the reverse direction — workers blocked behind a
+        checkpoint cycle — lands in their ``latch.wait``).  Charged from a
+        timestamp taken before the ``with`` rather than a ``wait_timer``
+        around an explicit ``acquire`` so the latch region stays a plain
+        ``with`` block the static latch-inference checkers can see.
+        """
+        latch_wait_from = time.monotonic_ns()
         with self.db.latch:
+            self.stats.charge_wait(
+                "ckpt.interference",
+                (time.monotonic_ns() - latch_wait_from) // 1000)
             self.stats.add("ckpt.cycles")
             if self._checkpoint_requested.is_set():
                 self._checkpoint_requested.clear()

@@ -18,6 +18,10 @@ simulated wait loop, so only an already-expired deadline can fire there.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.stats import StatsRegistry
 
 
 class Deadline:
@@ -48,6 +52,23 @@ class Deadline:
     def clamp(self, seconds: float) -> float:
         """``seconds`` capped to the remaining budget (never negative)."""
         return max(0.0, min(seconds, self.remaining()))
+
+    def sleep(self, seconds: float, stats: "StatsRegistry") -> float:
+        """Sleep ``seconds`` clamped to the remaining budget; return the
+        duration actually slept.
+
+        The suspension is charged to the ``deadline.sleep`` wait class —
+        the registry is a required argument precisely so no caller can
+        sleep against a deadline without accounting for it (the STAT004
+        hygiene check enforces that discipline on every ``time.sleep``
+        site in the tree).
+        """
+        duration = self.clamp(seconds)
+        if duration <= 0:
+            return 0.0
+        with stats.wait_timer("deadline.sleep"):
+            time.sleep(duration)
+        return duration
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Deadline(remaining={self.remaining():.4f}s)"

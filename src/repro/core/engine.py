@@ -447,7 +447,8 @@ class Database:
         if _sanitize.enabled():
             _sanitize.check_pool_quiesced(
                 self.pool, self.stats,
-                where=f"end of txn {txn.txn_id} ({txn.state.value})")
+                where=f"end of txn {txn.txn_id} ({txn.state.value})",
+                scope="thread")
 
     def close(self) -> None:
         """Quiesce the engine: checkpoint, flush, and (when armed) assert
@@ -531,7 +532,21 @@ class Database:
         fails with :class:`~repro.errors.DeadlineExceededError` —
         non-retryable by construction, so a client deadline cannot be
         burned by the retry machinery.
+
+        The whole call runs under a wait clock
+        (:meth:`~repro.core.stats.StatsRegistry.request_clock`): every
+        suspension any attempt hits — lock waits, the group-commit
+        window, buffer I/O, the retry backoff itself — decomposes the
+        call's elapsed time into per-class waits, reconciled by the
+        ``sanitize.waits.reconcile`` check when sanitizers are armed.
         """
+        with self.stats.request_clock():
+            return self._run_txn_attempts(body, isolation, retries, deadline)
+
+    def _run_txn_attempts(self, body: Callable[["Database", object], _T],
+                          isolation: IsolationLevel | None,
+                          retries: int | None,
+                          deadline: Deadline | None) -> _T:
         limit = self.config.txn_retry_limit if retries is None else retries
         attempt = 0
         carry: Counter | None = None
@@ -574,11 +589,17 @@ class Database:
                         if delay > 0:
                             self.stats.add("txn.retry_backoff_us",
                                            int(delay * 1_000_000))
-                    carry = Counter(txn.acct)
                     victims.append(txn.txn_id)
                     if delay > 0:
                         sleep = self.backoff_sleep or time.sleep
-                        sleep(delay)
+                        # Charged to the aborted attempt's sink (its acct
+                        # is carried below), so the folded record's
+                        # txn.retry_backoff wait survives into the final
+                        # attempt like every other victim cost.
+                        with txn.charging():
+                            with self.stats.wait_timer("txn.retry_backoff"):
+                                sleep(delay)
+                    carry = Counter(txn.acct)
                     continue
                 except BaseException:
                     if txn.state is TxnState.ACTIVE:

@@ -10,6 +10,7 @@ registry is cheap enough to leave enabled permanently.
 from __future__ import annotations
 
 import threading
+import time
 from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator
@@ -68,7 +69,16 @@ METRICS: frozenset[str] = frozenset({
     "sanitize.pinned_at_txn_end", "sanitize.locks_at_txn_end",
     "sanitize.lock_order", "sanitize.lsn_regression",
     "sanitize.active_txns_at_close", "sanitize.accounting_overcharge",
-    "sanitize.race.lockset",
+    "sanitize.race.lockset", "sanitize.waits.reconcile",
+    # wait-state accounting (DB2 class-3 suspension analogue): microseconds
+    # suspended per wait class.  Derived from :data:`WAITS` via
+    # :func:`wait_counter`; both sides are listed so the registries stay
+    # greppable and the exporters see them like any other counter.
+    "waits.admission_queue_us", "waits.lock_wait_us", "waits.latch_wait_us",
+    "waits.wal_force_us", "waits.wal_group_commit_us",
+    "waits.buffer_read_io_us", "waits.buffer_write_io_us",
+    "waits.ckpt_interference_us", "waits.txn_retry_backoff_us",
+    "waits.deadline_sleep_us",
     # instrumentation facility (repro.obs.monitor / slow-query log)
     "obs.slow_queries", "obs.accounting_records",
     # serving layer (repro.serve): admission, sessions, outcomes
@@ -106,7 +116,49 @@ HISTOGRAMS: frozenset[str] = frozenset({
     # serving layer: admission-queue wait and end-to-end request latency
     # (microseconds; p50/p99 for the load-harness report come from here)
     "serve.queue_wait_us", "serve.request_us",
+    # wait clock: total suspension time per request/txn (all classes);
+    # the per-class split lives in the ``waits.*_us`` counters
+    "waits.request_wait_us",
 })
+
+
+#: The wait-class registry: every named suspension class engine code may
+#: charge time against — the reproduction's analogue of DB2 accounting
+#: class-3 suspension categories (lock/latch wait, log write I/O, sync
+#: database I/O, ...).  Each class ``c`` owns the counter
+#: ``wait_counter(c)`` of microseconds suspended; the ``stats-hygiene``
+#: checker (STAT004) verifies every literal ``wait_timer``/``charge_wait``
+#: call site against this set and that every blocking sleep site charges
+#: *some* registered class.
+WAITS: frozenset[str] = frozenset({
+    # serving layer: queued behind the admission queue before a worker
+    # picked the request up
+    "admission.queue",
+    # lock manager: suspended in a lock-wait retry loop
+    "lock.wait",
+    # engine latch: blocked acquiring ``db.latch`` before running work
+    "latch.wait",
+    # WAL: forcing the log (durable-prefix advance)
+    "wal.force",
+    # WAL: parked in the group-commit window (leader) or waiting for the
+    # leader's force to cover our commit (follower)
+    "wal.group_commit",
+    # buffer pool: reading a page from the device on miss
+    "buffer.read_io",
+    # buffer pool: writing a dirty page out (flush or eviction writeback)
+    "buffer.write_io",
+    # background checkpointer blocked on the engine latch by foreground work
+    "ckpt.interference",
+    # victim-retry backoff sleep between transaction attempts
+    "txn.retry_backoff",
+    # deadline-bounded timer sleeps (client retry backoff in the harness)
+    "deadline.sleep",
+})
+
+
+def wait_counter(wait_class: str) -> str:
+    """Counter name charged for ``wait_class`` (microseconds suspended)."""
+    return "waits." + wait_class.replace(".", "_") + "_us"
 
 
 class Histogram:
@@ -250,6 +302,10 @@ class StatsRegistry:
         self._histograms: dict[str, Histogram] = {}
         #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
         self.tracer = None
+        #: Installed structured event trace
+        #: (see :class:`repro.obs.events.EventTrace`), or None.  Duck-typed
+        #: like the tracer so the substrate never imports ``repro.obs``.
+        self.events = None
         #: Name-striped locks guarding the shared maps above.
         self._locks = [threading.Lock() for _ in range(self._STRIPES)]
         #: Per-thread innermost accounting sink — see :meth:`charge`.
@@ -394,6 +450,87 @@ class StatsRegistry:
         tracer = self.tracer
         if tracer is not None:
             tracer.event(name, **attrs)
+
+    # -- wait-state accounting (DB2 class-3 suspension analogue) ----------
+
+    def charge_wait(self, wait_class: str, micros: int) -> None:
+        """Charge ``micros`` of suspension time to ``wait_class``.
+
+        The charge lands in three places at once: the global
+        ``waits.<class>_us`` counter (and, through the thread's accounting
+        sink, the running transaction's per-txn breakdown — which is what
+        makes wait fields fold across victim retries for free), every wait
+        clock open on this thread (see :meth:`request_clock`), and — when a
+        structured event trace is installed with the PERFORMANCE class
+        enabled — a ``wait.<class>`` trace event.  Zero-microsecond waits
+        are dropped: a suspension that never suspended is not a wait, and
+        recording it would materialize noise counters in deterministic
+        baselines.
+        """
+        if micros <= 0:
+            return
+        self.add(wait_counter(wait_class), int(micros))
+        frames = getattr(self._local, "wait_frames", None)
+        if frames:
+            for frame in frames:
+                frame[wait_class] = frame.get(wait_class, 0) + int(micros)
+        events = self.events
+        if events is not None:
+            events.performance("wait." + wait_class, us=int(micros))
+
+    @contextmanager
+    def wait_timer(self, wait_class: str) -> Iterator[None]:
+        """Charge the wall-clock duration of the block to ``wait_class``.
+
+        Every blocking suspension point in the engine wraps its sleep/IO
+        in one of these (the ``stats-hygiene`` STAT004 checker enforces
+        it), so per-request elapsed time decomposes as
+        ``elapsed = cpuish + Σ waits``.  Timed regions must not nest —
+        each suspension belongs to exactly one class, otherwise the
+        Σ waits ≤ elapsed reconciliation would double-count.
+        """
+        started = time.monotonic_ns()
+        try:
+            yield
+        finally:
+            self.charge_wait(
+                wait_class, (time.monotonic_ns() - started) // 1000)
+
+    @contextmanager
+    def request_clock(self, started_ns: int | None = None
+                      ) -> Iterator[dict[str, int]]:
+        """Open a per-request/per-txn wait clock on the calling thread.
+
+        Yields the breakdown dict (wait class -> microseconds) that every
+        :meth:`charge_wait` on this thread fills while the block runs.
+        Clocks stack: a transaction clock inside a serving-layer request
+        clock sees only its own waits, while the outer request clock sees
+        both.  On exit the total is observed into the
+        ``waits.request_wait_us`` histogram and — when sanitizers are
+        armed — reconciled against the clock's own elapsed time
+        (``sanitize.waits.reconcile`` trips if Σ waits > elapsed, which
+        can only mean a wait was double-charged or charged from the wrong
+        thread).  ``started_ns`` backdates the clock (the serving layer
+        passes the request's submit timestamp so the admission-queue wait
+        is inside the clocked interval).
+        """
+        start = time.monotonic_ns() if started_ns is None else started_ns
+        frame: dict[str, int] = {}
+        frames = getattr(self._local, "wait_frames", None)
+        if frames is None:
+            frames = []
+            self._local.wait_frames = frames
+        frames.append(frame)
+        try:
+            yield frame
+        finally:
+            frames.pop()
+            elapsed_us = (time.monotonic_ns() - start) // 1000
+            total = sum(frame.values())
+            if total > 0:
+                self.observe("waits.request_wait_us", total)
+            if _sanitize.enabled():
+                _sanitize.check_wait_reconcile(self, total, elapsed_us)
 
     @contextmanager
     def charge(self, sink: "Counter[str] | None") -> Iterator[None]:

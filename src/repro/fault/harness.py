@@ -26,6 +26,7 @@ recovered; nothing unacknowledged is acknowledged twice".
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -33,6 +34,7 @@ from typing import Callable, Iterable
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.stats import StatsRegistry
 from repro.fault.injector import FaultInjector, FaultSpec, SimulatedCrash
+from repro.obs.events import EventTrace
 from repro.indexes.manager import XPathValueIndex
 from repro.rdb.storage import Disk
 from repro.rdb.wal import LogManager, LogOp
@@ -118,13 +120,21 @@ class CrashHarness:
     """Runs workloads to a crash point and simulates restart recovery."""
 
     def __init__(self, workdir: str, config: EngineConfig = DEFAULT_CONFIG,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 trace: EventTrace | None = None) -> None:
         self.workdir = str(workdir)
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
+        #: Optional structured event trace (flight recorder): installed on
+        #: the harness registry so the run's suspensions and injected
+        #: faults are retained for the post-crash dump.
+        self.trace = trace
+        if trace is not None:
+            trace.install(self.stats)
         os.makedirs(self.workdir, exist_ok=True)
         self.wal_path = os.path.join(self.workdir, "crash.wal")
         self.image_path = os.path.join(self.workdir, "crash.img")
+        self.events_path = os.path.join(self.workdir, "crash_events.jsonl")
 
     def run(self, workload: Callable[[object], None],
             plan: Iterable[FaultSpec] = (), seed: int = 0) -> CrashOutcome:
@@ -163,8 +173,32 @@ class CrashHarness:
         return Disk.load(self.image_path, stats=self.stats, verify=verify)
 
     def restart(self):
-        """Simulate restart: reload the WAL and replay the committed log."""
+        """Simulate restart: reload the WAL and replay the committed log.
+
+        With a trace installed, the last events before the crash are
+        dumped to ``crash_events.jsonl`` first — the flight-recorder
+        read-out a post-recovery investigation starts from (which fault
+        fired, what the engine was suspended on around it).
+        """
         from repro.core.engine import Database
 
+        if self.trace is not None:
+            self.dump_events()
         log = self.load_log()
         return Database.replay(log, self.config)
+
+    def post_mortem(self, n: int = 64) -> list[dict]:
+        """The newest ``n`` trace records as dicts ([] with no trace)."""
+        if self.trace is None:
+            return []
+        return [record.to_dict() for record in self.trace.last(n)]
+
+    def dump_events(self, n: int = 64) -> str | None:
+        """Write the post-mortem records to ``crash_events.jsonl``."""
+        records = self.post_mortem(n)
+        if not records:
+            return None
+        with open(self.events_path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return self.events_path

@@ -21,6 +21,17 @@ the flat counter bag; this package adds the hierarchical view on top of it:
   offender queries (plan + span tree + counter deltas);
 * :mod:`repro.obs.exporters` — Prometheus-text and JSON exposition of
   counters/gauges/histograms;
+* :mod:`repro.obs.waits` — the reading side of the wait clock: per-class
+  suspension breakdowns (DB2 accounting class-3 analogue) folded from the
+  ``waits.*_us`` counters charged by ``StatsRegistry.wait_timer``;
+* :mod:`repro.obs.events` — :class:`~repro.obs.events.EventTrace`, the
+  IFCID-style structured event trace (accounting / statistics /
+  performance records in per-thread bounded rings) plus the
+  statistics-interval :class:`~repro.obs.events.StatsCollector`;
+* :mod:`repro.obs.perf` — ``python -m repro.obs.perf``, the wait-state
+  profiler over a JSONL trace export (imported lazily — it pulls in the
+  serving layer for its live mode, so it is deliberately *not* re-exported
+  here);
 * :mod:`repro.obs.report` — ``python -m repro.obs.report``, the
   human-readable accounting/statistics report.
 
@@ -29,6 +40,8 @@ reusable no-op unless a :class:`Tracer` is installed on the registry, so the
 uninstrumented cost is ~zero.
 """
 
+from repro.obs.events import (EventClass, EventRecord, EventTrace,
+                              StatsCollector)
 from repro.obs.explain import ExplainResult
 from repro.obs.export import span_to_dict, write_trace
 from repro.obs.exporters import (engine_metrics, metrics_to_dict,
@@ -37,10 +50,14 @@ from repro.obs.exporters import (engine_metrics, metrics_to_dict,
 from repro.obs.monitor import Monitor, MonitorSnapshot
 from repro.obs.slowlog import SlowQueryLog, SlowQueryRecord
 from repro.obs.tracer import Span, Tracer
+from repro.obs.waits import (WAIT_CLASS_ORDER, format_breakdown,
+                             total_wait_us, wait_breakdown, wait_profile)
 
 __all__ = [
-    "ExplainResult", "Monitor", "MonitorSnapshot", "SlowQueryLog",
-    "SlowQueryRecord", "Span", "Tracer", "engine_metrics",
-    "metrics_to_dict", "render_prometheus", "span_to_dict", "write_trace",
-    "write_metrics_json", "write_prometheus",
+    "EventClass", "EventRecord", "EventTrace", "ExplainResult", "Monitor",
+    "MonitorSnapshot", "SlowQueryLog", "SlowQueryRecord", "Span",
+    "StatsCollector", "Tracer", "WAIT_CLASS_ORDER", "engine_metrics",
+    "format_breakdown", "metrics_to_dict", "render_prometheus",
+    "span_to_dict", "total_wait_us", "wait_breakdown", "wait_profile",
+    "write_metrics_json", "write_prometheus", "write_trace",
 ]

@@ -27,34 +27,73 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> obs)
 #: Prefix for every Prometheus series exported by the engine.
 PROMETHEUS_PREFIX = "repro"
 
+#: Curated HELP strings for the series operators actually alert on; every
+#: other series gets a generated one-liner naming its registry entry.
+_HELP_OVERRIDES = {
+    "serve.request_us": "End-to-end request latency in microseconds "
+                        "(submit to finish, queue wait included)",
+    "serve.queue_wait_us": "Admission-queue wait per request in "
+                           "microseconds",
+    "waits.request_wait_us": "Total suspension time per request/txn wait "
+                             "clock in microseconds (all wait classes)",
+    "wal.group_size": "COMMIT records hardened per group-commit log force",
+}
+
 
 def _mangle(name: str) -> str:
     """``component.metric`` -> Prometheus-legal ``component_metric``."""
     return name.replace(".", "_").replace("-", "_")
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline, per spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value (backslash, double quote, newline)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _help_text(name: str, kind: str) -> str:
+    override = _HELP_OVERRIDES.get(name)
+    if override is not None:
+        return override
+    return f"Engine {kind} {name} (see repro.core.stats registries)"
+
+
 def render_prometheus(stats: StatsRegistry,
                       prefix: str = PROMETHEUS_PREFIX) -> str:
     """Counters, gauges and histograms in Prometheus text format.
 
-    Counters get a ``_total`` suffix; histograms emit the standard
-    cumulative ``_bucket{le="..."}`` series (power-of-two bounds plus
-    ``+Inf``) with ``_sum`` and ``_count``.
+    Every series carries ``# HELP``/``# TYPE`` metadata (HELP text
+    escaped per the exposition format).  Counters get a ``_total``
+    suffix; histograms emit the standard cumulative ``_bucket{le="..."}``
+    series (power-of-two bounds plus ``+Inf``) with ``_sum`` and
+    ``_count``.
     """
     lines: list[str] = []
     for name, value in sorted(stats.counters().items()):
         series = f"{prefix}_{_mangle(name)}_total"
+        lines.append(f"# HELP {series} "
+                     f"{_escape_help(_help_text(name, 'counter'))}")
         lines.append(f"# TYPE {series} counter")
         lines.append(f"{series} {value}")
     for name, value in sorted(stats.gauges().items()):
         series = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# HELP {series} "
+                     f"{_escape_help(_help_text(name, 'gauge'))}")
         lines.append(f"# TYPE {series} gauge")
         lines.append(f"{series} {value}")
     for name, histogram in sorted(stats.histograms().items()):
         series = f"{prefix}_{_mangle(name)}"
+        lines.append(f"# HELP {series} "
+                     f"{_escape_help(_help_text(name, 'histogram'))}")
         lines.append(f"# TYPE {series} histogram")
         for bound, cumulative in histogram.cumulative_buckets():
-            lines.append(f'{series}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f'{series}_bucket{{le="'
+                         f'{_escape_label(str(bound))}"}} {cumulative}')
         lines.append(f'{series}_bucket{{le="+Inf"}} {histogram.count}')
         lines.append(f"{series}_sum {histogram.sum}")
         lines.append(f"{series}_count {histogram.count}")
@@ -80,12 +119,14 @@ def engine_metrics(db: "Database") -> dict:
     can render from a file instead of a live engine.
     """
     from repro.obs.monitor import Monitor
+    from repro.obs.waits import wait_profile
 
     artifact = metrics_to_dict(db.stats)
     artifact["accounting"] = [record.to_dict()
                               for record in db.txns.accounting]
     artifact["slow_queries"] = [record.to_dict()
                                 for record in db.slow_queries]
+    artifact["waits"] = wait_profile(db.stats)
     artifact["snapshot"] = Monitor(db).snapshot().to_dict()
     return artifact
 

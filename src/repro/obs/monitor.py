@@ -162,11 +162,16 @@ class MonitorSnapshot:
     #: queue depth, session count, request outcome counters.  Empty when
     #: no server is attached to the monitor.
     server: dict = field(default_factory=dict)
+    #: Wait-state profile (``repro.obs.waits.wait_profile``): per-class
+    #: suspension totals plus the per-request wait distribution — the
+    #: DB2 accounting class-3 section of the DISPLAY output.
+    waits: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (exporters, artifacts, report CLI)."""
         return {
             "server": self.server,
+            "waits": self.waits,
             "buffer_pool": self.buffer_pool.to_dict(),
             "lock_table": self.lock_table.to_dict(),
             "wal": self.wal.to_dict(),
@@ -241,6 +246,17 @@ class MonitorSnapshot:
         slow = self.slow_queries
         lines.append(f"  slow queries: {slow.get('captured', 0)} captured, "
                      f"{slow.get('buffered', 0)} buffered")
+        if self.waits.get("by_class"):
+            from repro.obs.waits import format_breakdown
+            lines.append("=== WAITS (class-3 suspensions) ===")
+            lines.extend(format_breakdown(self.waits["by_class"]))
+            request_wait = self.waits.get("request_wait")
+            if request_wait and request_wait.get("count"):
+                lines.append(
+                    f"  per-request total: p50 {request_wait['p50_us']:,} "
+                    f"us  p99 {request_wait['p99_us']:,} us  max "
+                    f"{request_wait['max_us']:,} us "
+                    f"({request_wait['count']} clocked)")
         if self.server:
             srv = self.server
             lines += [
@@ -300,10 +316,13 @@ class Monitor:
         :meth:`_stable`); structures with their own latches (lock stripes,
         the accounting ring) copy under those.
         """
+        from repro.obs.waits import wait_profile
+
         db = self.db
         return MonitorSnapshot(
             server=dict(self.server.view()) if self.server is not None
             else {},
+            waits=wait_profile(db.stats),
             buffer_pool=self._stable(self._buffer_pool),
             lock_table=self._lock_table(),
             wal=self._stable(self._wal),

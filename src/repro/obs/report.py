@@ -55,10 +55,18 @@ def render_counters(counters: dict[str, int]) -> list[str]:
 
 
 def render_histograms(histograms: dict[str, dict]) -> list[str]:
-    """One table row per histogram: count / mean / p50 / p90 / max."""
+    """One table row per histogram: count / mean / p50 / p90 / p99 / max.
+
+    Every histogram present in the artifact is rendered — including the
+    serving-layer latency distributions (``serve.request_us``,
+    ``serve.queue_wait_us``), the group-commit batch shape
+    (``wal.group_size``) and the wait clock (``waits.request_wait_us``) —
+    the report computes quantiles from whatever buckets it is handed
+    rather than a fixed name list.
+    """
     lines = ["== HISTOGRAMS ==",
              f"  {'name':<28} {'count':>8} {'mean':>10} "
-             f"{'p50':>8} {'p90':>8} {'max':>10}"]
+             f"{'p50':>8} {'p90':>8} {'p99':>8} {'max':>10}"]
     if not histograms:
         lines.append("  (no histograms)")
         return lines
@@ -69,8 +77,29 @@ def render_histograms(histograms: dict[str, dict]) -> list[str]:
         mean = total / count if count else 0.0
         p50 = _histogram_quantile(buckets, count, 0.5)
         p90 = _histogram_quantile(buckets, count, 0.9)
+        p99 = _histogram_quantile(buckets, count, 0.99)
         lines.append(f"  {name:<28} {count:>8} {mean:>10.1f} "
-                     f"{p50:>8} {p90:>8} {data.get('max', 0):>10}")
+                     f"{p50:>8} {p90:>8} {p99:>8} {data.get('max', 0):>10}")
+    return lines
+
+
+def render_waits(waits: dict) -> list[str]:
+    """The DB2 class-3 section: per-class suspension totals."""
+    lines = ["== WAITS (class-3 suspensions) =="]
+    by_class = waits.get("by_class", {})
+    if not by_class:
+        lines.append("  (no suspensions charged)")
+        return lines
+    from repro.obs.waits import format_breakdown
+    lines += format_breakdown(by_class)
+    lines.append(f"  {'total':<20} {waits.get('total_us', 0):>12,} us")
+    request_wait = waits.get("request_wait", {})
+    if request_wait.get("count"):
+        lines.append(f"  per-request total: p50 "
+                     f"{request_wait.get('p50_us', 0):,} us  p99 "
+                     f"{request_wait.get('p99_us', 0):,} us  max "
+                     f"{request_wait.get('max_us', 0):,} us "
+                     f"({request_wait['count']} clocked)")
     return lines
 
 
@@ -127,27 +156,43 @@ def render_artifact(artifact: dict, title: str = "") -> str:
         lines.append(f"==== ENGINE REPORT: {title} ====")
     lines += render_counters(artifact.get("counters", {}))
     lines += render_histograms(artifact.get("histograms", {}))
+    lines += render_waits(artifact.get("waits", {}))
     lines += render_accounting(artifact.get("accounting", []))
     lines += render_slow_queries(artifact.get("slow_queries", []))
     return "\n".join(lines)
 
 
 def _demo_artifact() -> dict:
-    """Run a tiny workload on an in-memory engine and export it."""
+    """Run a tiny workload on an in-memory engine and export it.
+
+    The demo goes through the *serving layer* with group commit enabled —
+    not straight engine calls — so the report's own smoke path populates
+    the post-serving-layer histograms (``serve.request_us``,
+    ``serve.queue_wait_us``, ``wal.group_size``) and the wait clock,
+    exactly the distributions a real artifact carries.
+    """
     from repro.core.config import EngineConfig
     from repro.core.engine import Database
     from repro.obs.exporters import engine_metrics
+    from repro.serve.server import DatabaseServer
 
-    config = EngineConfig(slow_query_events=1)
+    config = EngineConfig(slow_query_events=1, txn_group_commit=True,
+                          serve_workers=2)
     db = Database(config)
     db.create_table("demo", [("id", "bigint"), ("doc", "xml")])
-    for i in range(4):
-        db.insert("demo", (i, f"<order id='{i}'><item n='{i}'>"
-                              f"widget</item></order>"))
-    db.xpath("demo", "doc", "/order/item")
-    db.run_in_txn(lambda eng, txn:
-                  eng.insert("demo", (99, "<order id='99'/>"),
-                             txn_id=txn.txn_id))
+    server = DatabaseServer(db).start()
+    try:
+        with server.session() as session:
+            for i in range(5):
+                session.insert("demo", (i, f"<order id='{i}'><item n='{i}'>"
+                                           f"widget</item></order>"))
+            session.query("demo", "doc", "/order/item")
+    finally:
+        # Every write goes through the server: with group commit on, the
+        # log is a shared field the lockset sanitizer tracks, and mixing
+        # served (latch-held) commits with direct engine commits would be
+        # exactly the disjoint-lockset pattern it exists to reject.
+        server.shutdown(drain=True)
     return engine_metrics(db)
 
 

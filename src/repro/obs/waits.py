@@ -1,0 +1,114 @@
+"""Wait-state profiling helpers (DB2 accounting class-3 analogue).
+
+The mechanism lives in :mod:`repro.core.stats` — the :data:`WAITS` registry
+of named suspension classes, ``StatsRegistry.wait_timer(cls)`` wrapping
+every blocking site, and ``StatsRegistry.request_clock()`` decomposing each
+request/transaction as ``elapsed = cpuish + Σ waits`` (reconciled by the
+``sanitize.waits.reconcile`` runtime check).  This module is the *reading*
+side: fold the ``waits.<class>_us`` counters back into per-class
+breakdowns for reports, the monitor, the load harness and the
+``python -m repro.obs.perf`` profiler.
+
+The class inventory and its DB2 class-3 / IFCID mapping are documented in
+README.md and DESIGN.md ("Instrumentation facility").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.stats import WAITS, StatsRegistry, wait_counter
+
+#: Stable rendering order: biggest architectural layers first.
+WAIT_CLASS_ORDER: tuple[str, ...] = (
+    "admission.queue", "latch.wait", "lock.wait",
+    "wal.force", "wal.group_commit",
+    "buffer.read_io", "buffer.write_io",
+    "ckpt.interference", "txn.retry_backoff", "deadline.sleep",
+)
+
+assert frozenset(WAIT_CLASS_ORDER) == WAITS, \
+    "WAIT_CLASS_ORDER must enumerate exactly the registered wait classes"
+
+
+def wait_breakdown(counters: Mapping[str, int]) -> dict[str, int]:
+    """Per-class microseconds from a counters mapping (non-zero only).
+
+    Accepts either a global ``StatsRegistry.counters()`` dict or a
+    per-transaction accounting ``counters`` dict — both charge waits
+    through the same ``waits.<class>_us`` names.
+    """
+    out: dict[str, int] = {}
+    for wait_class in WAIT_CLASS_ORDER:
+        micros = counters.get(wait_counter(wait_class), 0)
+        if micros:
+            out[wait_class] = micros
+    return out
+
+
+def total_wait_us(counters: Mapping[str, int]) -> int:
+    """Sum of all per-class wait charges in a counters mapping."""
+    return sum(wait_breakdown(counters).values())
+
+
+def wait_profile(stats: StatsRegistry) -> dict:
+    """Snapshot the registry's wait state as a JSON-safe profile.
+
+    ``by_class`` is the per-class total, ``request_wait`` the distribution
+    of per-clock totals (count / p50 / p99 / max from the
+    ``waits.request_wait_us`` histogram).
+    """
+    by_class = wait_breakdown(stats.counters())
+    profile: dict = {
+        "total_us": sum(by_class.values()),
+        "by_class": by_class,
+    }
+    histogram = stats.histogram("waits.request_wait_us")
+    if histogram is not None:
+        profile["request_wait"] = {
+            "count": histogram.count,
+            "p50_us": histogram.quantile(0.50),
+            "p99_us": histogram.quantile(0.99),
+            "max_us": histogram.max,
+        }
+    return profile
+
+
+def format_breakdown(by_class: Mapping[str, int],
+                     elapsed_us: int | None = None) -> list[str]:
+    """Render a per-class breakdown as aligned report lines.
+
+    When ``elapsed_us`` is given, each class also shows its share of the
+    elapsed time and a trailing ``cpuish+other`` line accounts for the
+    unsuspended remainder — the ``elapsed = cpuish + Σ waits`` identity
+    made visible.
+    """
+    ordered = [(cls, by_class[cls]) for cls in WAIT_CLASS_ORDER
+               if by_class.get(cls)]
+    ordered.sort(key=lambda item: item[1], reverse=True)
+    total = sum(micros for _, micros in ordered)
+    lines: list[str] = []
+    for wait_class, micros in ordered:
+        if elapsed_us:
+            share = 100.0 * micros / elapsed_us
+            lines.append(f"  {wait_class:<20} {micros:>12,} us "
+                         f"{share:>6.1f}%")
+        else:
+            lines.append(f"  {wait_class:<20} {micros:>12,} us")
+    if elapsed_us is not None:
+        other = max(0, elapsed_us - total)
+        share = 100.0 * other / elapsed_us if elapsed_us else 0.0
+        lines.append(f"  {'cpuish+other':<20} {other:>12,} us "
+                     f"{share:>6.1f}%")
+    return lines
+
+
+__all__ = [
+    "WAITS",
+    "WAIT_CLASS_ORDER",
+    "format_breakdown",
+    "total_wait_us",
+    "wait_breakdown",
+    "wait_counter",
+    "wait_profile",
+]

@@ -7,6 +7,7 @@ pages through the pool so experiments can separate logical page touches
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Iterator
@@ -40,6 +41,12 @@ class BufferPool:
         self.stats: StatsRegistry = disk.stats
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._clock = 0  # pool accesses; drives eviction-residency ages
+        #: Per-thread pin ledger (page_id -> count).  Pins are always
+        #: released on the thread that took them (``page()`` is a context
+        #: manager), so the ledger lets quiesce checks scope to the calling
+        #: thread — a latch-free monitor snapshot pinning a page from
+        #: another thread is not *this* transaction's leak.
+        self._local = threading.local()
         if _sanitize.enabled():
             _sanitize.register_pool(self)
 
@@ -61,6 +68,7 @@ class BufferPool:
         frame.pin_count = 1
         frame.dirty = True
         self._frames[page_id] = frame
+        self._note_pin(page_id)
         return page_id, frame.data
 
     def fetch(self, page_id: int) -> bytearray:
@@ -73,10 +81,14 @@ class BufferPool:
         else:
             self.stats.add("buffer.misses")
             self._make_room()
-            frame = _Frame(bytearray(self.disk.read_page(page_id)),
-                           loaded_tick=self._clock)
+            # The miss path's device read is the synchronous database I/O
+            # suspension (DB2 class-3 "sync DB I/O").
+            with self.stats.wait_timer("buffer.read_io"):
+                data = bytearray(self.disk.read_page(page_id))
+            frame = _Frame(data, loaded_tick=self._clock)
             self._frames[page_id] = frame
         frame.pin_count += 1
+        self._note_pin(page_id)
         return frame.data
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
@@ -88,6 +100,7 @@ class BufferPool:
             raise BufferPoolError(f"page {page_id} is not pinned")
         frame.pin_count -= 1
         frame.dirty = frame.dirty or dirty
+        self._note_unpin(page_id)
 
     @contextmanager
     def page(self, page_id: int, write: bool = False) -> Iterator[bytearray]:
@@ -107,7 +120,10 @@ class BufferPool:
         """
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
-            self.disk.write_page(page_id, bytes(frame.data))
+            # Checkpoint flushes, lazy-writer trickles and eviction
+            # writeback all suspend here (DB2 class-3 "write I/O").
+            with self.stats.wait_timer("buffer.write_io"):
+                self.disk.write_page(page_id, bytes(frame.data))
             frame.dirty = False
             self.stats.add("buffer.flushes")
 
@@ -147,6 +163,37 @@ class BufferPool:
         """Page ids of frames currently pinned (sanitizer/quiesce probe)."""
         return [page_id for page_id, frame in self._frames.items()
                 if frame.pin_count]
+
+    def pinned_by_caller(self) -> list[int]:
+        """Page ids the *calling thread* currently holds pins on.
+
+        The transaction-end quiesce check uses this instead of
+        :meth:`pinned_pages`: a transaction runs on one thread, so only
+        that thread's leftover pins indict it.  Concurrent pins from other
+        threads (a DISPLAY-style monitor snapshot walking an index
+        latch-free) are transient and legitimately visible at a foreign
+        transaction's end.
+        """
+        return sorted(self._caller_pins())
+
+    def _caller_pins(self) -> dict[int, int]:
+        pins = getattr(self._local, "pins", None)
+        if pins is None:
+            pins = {}
+            self._local.pins = pins
+        return pins
+
+    def _note_pin(self, page_id: int) -> None:
+        pins = self._caller_pins()
+        pins[page_id] = pins.get(page_id, 0) + 1
+
+    def _note_unpin(self, page_id: int) -> None:
+        pins = self._caller_pins()
+        count = pins.get(page_id, 0)
+        if count <= 1:
+            pins.pop(page_id, None)
+        else:
+            pins[page_id] = count - 1
 
     def assert_unpinned(self) -> None:
         """Raise :class:`BufferPoolError` if any frame is still pinned.

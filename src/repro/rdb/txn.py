@@ -25,7 +25,8 @@ from typing import Callable, Iterator
 
 from repro.analyze import sanitize as _sanitize
 from repro.core.deadline import Deadline
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import (GLOBAL_STATS, WAITS, StatsRegistry,
+                              wait_counter)
 from repro.errors import (DeadlineExceededError, DeadlockError,
                           LockTimeoutError, TransactionError)
 from repro.rdb.locks import LockManager, LockMode
@@ -100,6 +101,30 @@ class AccountingRecord:
     def wal_bytes(self) -> int:
         return self.counters.get("wal.bytes", 0)
 
+    # -- class-3 suspension breakdown -------------------------------------
+
+    @property
+    def waits(self) -> dict[str, int]:
+        """Per-wait-class microseconds suspended on this txn's behalf.
+
+        Wait charges flow through the same accounting sink as every other
+        counter, so the breakdown *folds across victim retries* exactly
+        like the rest of the record (an aborted attempt's lock-wait time
+        is carried into its successor) and sums against the global
+        ``waits.*_us`` counters in the accounting-caps check.
+        """
+        out: dict[str, int] = {}
+        for wait_class in sorted(WAITS):
+            micros = self.counters.get(wait_counter(wait_class), 0)
+            if micros:
+                out[wait_class] = micros
+        return out
+
+    @property
+    def wait_us(self) -> int:
+        """Total microseconds suspended (all wait classes)."""
+        return sum(self.waits.values())
+
     def to_dict(self) -> dict:
         """JSON-safe rendering (exporters and artifacts)."""
         return {
@@ -112,6 +137,8 @@ class AccountingRecord:
             "pages_written": self.pages_written,
             "lock_waits": self.lock_waits,
             "wal_bytes": self.wal_bytes,
+            "wait_us": self.wait_us,
+            "waits": self.waits,
             "counters": dict(sorted(self.counters.items())),
         }
 
@@ -251,7 +278,12 @@ class Transaction:
             backoff = min(backoff * 2, max(1, manager.lock_backoff_cap))
             yield_hook = manager.lock_wait_yield
             if yield_hook is not None:
-                yield_hook()
+                # The latch-yielding sleep is the real suspension of the
+                # interactive lock wait (DB2's IRLM lock suspension);
+                # charged here — not inside the hook — so the latch
+                # re-acquire after the sleep is part of the lock wait.
+                with manager.stats.wait_timer("lock.wait"):
+                    yield_hook()
             if self.try_lock(resource, mode):
                 manager.stats.observe("lock.acquire_wait_steps", waited)
                 return
@@ -396,15 +428,24 @@ class TransactionManager:
         with txn.charging():
             self.locks.release_all(txn.txn_id)
         self.active.pop(txn.txn_id, None)
-        self.accounting.emit(AccountingRecord(
+        record = AccountingRecord(
             txn_id=txn.txn_id,
             isolation=txn.isolation.value,
             outcome=("committed" if txn.state is TxnState.COMMITTED
                      else "aborted"),
             retries=txn.retries,
             victim_attempts=txn.victim_attempts,
-            counters=dict(txn.acct)))
+            counters=dict(txn.acct))
+        self.accounting.emit(record)
         self.stats.add("obs.accounting_records")
+        events = self.stats.events
+        if events is not None:
+            # The IFCID 3 analogue: one ACCOUNTING trace record per
+            # finished unit of work, wait breakdown included.
+            events.accounting(
+                "txn.accounting", txn_id=txn.txn_id,
+                outcome=record.outcome, retries=record.retries,
+                wait_us=record.wait_us, waits=record.waits)
         if _sanitize.enabled():
             _sanitize.check_txn_locks_released(self.locks, txn.txn_id,
                                                self.stats)

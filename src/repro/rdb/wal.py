@@ -251,7 +251,12 @@ class LogManager:
         hardened = len(self._records) - self._durable_count
         if hardened <= 0:
             return 0
-        self._durable_count = len(self._records)
+        # The force is the commit path's log-write suspension (DB2's "log
+        # write I/O" class-3 bucket).  On the simulated device it is near
+        # instant, so the charge usually rounds to zero — the class exists
+        # so the profile stays honest if the device ever gets real latency.
+        with self.stats.wait_timer("wal.force"):
+            self._durable_count = len(self._records)
         self.stats.add("wal.flushes")
         self.stats.trace_event("wal.flush", records=hardened)
         return hardened
@@ -461,9 +466,10 @@ class GroupCommitter:
             waiter = self.yield_wait
             if waiter is not None and self.window > 0:
                 deadline = time.monotonic() + self.window
-                while (self._pending < self.max_group
-                       and time.monotonic() < deadline):
-                    waiter(self.step)  # latch released: followers append
+                with self.stats.wait_timer("wal.group_commit"):
+                    while (self._pending < self.max_group
+                           and time.monotonic() < deadline):
+                        waiter(self.step)  # latch released: followers append
             self._force_group()
         finally:
             self._leader_active = False
@@ -474,10 +480,13 @@ class GroupCommitter:
         while self.log.durable_lsn < lsn:
             if waiter is None or not self._leader_active:
                 # The leader is gone (or there is no way to wait): force
-                # the remainder ourselves rather than spin.
+                # the remainder ourselves rather than spin.  Charged per
+                # step (not around the loop): _force_group's flush has its
+                # own wal.force timer, and wait regions must not nest.
                 self._force_group()
                 return
-            waiter(self.step)
+            with self.stats.wait_timer("wal.group_commit"):
+                waiter(self.step)
 
     def _force_group(self) -> None:
         """One log force covering every pending commit in the window."""

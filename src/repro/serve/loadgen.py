@@ -42,6 +42,8 @@ from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import Database
 from repro.errors import (DeadlineExceededError, ReproError,
                           ServerClosedError, ServerOverloadedError)
+from repro.obs.events import EventTrace, StatsCollector
+from repro.obs.waits import wait_breakdown
 from repro.rdb.locks import LockMode
 from repro.serve.server import DatabaseServer
 
@@ -145,6 +147,12 @@ class LoadReport:
     wal_group_commits: int = 0
     group_size_p50: int = 0
     group_size_max: int = 0
+    #: class-3-style wait profile: per-class totals plus the per-request
+    #: total-wait distribution (`waits.request_wait_us`).
+    waits_by_class: dict = field(default_factory=dict)
+    wait_total_us: int = 0
+    p50_request_wait_us: int = 0
+    p99_request_wait_us: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -172,6 +180,12 @@ class LoadReport:
                 "group_commits": self.wal_group_commits,
                 "group_size_p50": self.group_size_p50,
                 "group_size_max": self.group_size_max,
+            },
+            "waits": {
+                "total_us": self.wait_total_us,
+                "request_wait_p50_us": self.p50_request_wait_us,
+                "request_wait_p99_us": self.p99_request_wait_us,
+                "by_class": self.waits_by_class,
             },
             "counters": self.counters,
         }
@@ -249,7 +263,10 @@ class LoadHarness:
                 return
             except ServerOverloadedError:
                 tally.shed += 1
-                time.sleep(0.001 * (attempt + 1))
+                # Client-side shed backoff burns the op's deadline budget
+                # without touching the engine — charged as deadline.sleep.
+                with self.db.stats.wait_timer("deadline.sleep"):
+                    time.sleep(0.001 * (attempt + 1))
             except DeadlineExceededError:
                 tally.deadline_expired += 1
                 return
@@ -282,14 +299,14 @@ class LoadHarness:
             self._ensure_rolled_back(session)
             raise
 
-    @staticmethod
-    def _ensure_rolled_back(session: "Session") -> None:
+    def _ensure_rolled_back(self, session: "Session") -> None:
         """Best-effort rollback of a leaked explicit transaction."""
         while session.txn is not None and not session.closed:
             try:
                 session.rollback()
             except ServerOverloadedError:
-                time.sleep(0.001)
+                with self.db.stats.wait_timer("deadline.sleep"):
+                    time.sleep(0.001)
             except ServerClosedError:
                 return
 
@@ -299,19 +316,38 @@ class LoadHarness:
                 seeded_insert_txns: int) -> LoadReport:
         verify_errors = self.verify_commits(tallies, seeded_insert_txns)
         stats = self.db.stats
-        # A sanitized run is only verified if no runtime race witness
-        # tripped: a non-zero sanitize.race.* counter is a found data
-        # race even when every commit-level invariant still held.
-        for name, value in sorted(stats.counters().items()):
-            if name.startswith("sanitize.race") and value:
+        snapshot = stats.counters()
+        # A sanitized run is only verified if no runtime witness tripped:
+        # a non-zero sanitize.race.* counter is a found data race, a
+        # non-zero sanitize.waits.* one a wait clock that charged more
+        # suspension time than the interval it measured contained.
+        for name, value in sorted(snapshot.items()):
+            if name.startswith(("sanitize.race", "sanitize.waits")) \
+                    and value:
                 verify_errors.append(
-                    f"runtime race sanitizer tripped: {name} = {value}")
+                    f"runtime sanitizer tripped: {name} = {value}")
+        # Attribution soundness for the wait clocks, same shape as the
+        # accounting-caps check: summed per-transaction wait charges can
+        # never exceed the global per-class counter they flowed through.
+        acct_waits: dict = {}
+        for record in self.db.txns.accounting.records():
+            for name, value in record.counters.items():
+                if name.startswith("waits."):
+                    acct_waits[name] = acct_waits.get(name, 0) + value
+        for name, total in sorted(acct_waits.items()):
+            if total > snapshot.get(name, 0):
+                verify_errors.append(
+                    f"accounting over-charged wait counter {name}: "
+                    f"records sum to {total}, global is "
+                    f"{snapshot.get(name, 0)}")
         request_hist = stats.histogram("serve.request_us")
         queue_hist = stats.histogram("serve.queue_wait_us")
+        wait_hist = stats.histogram("waits.request_wait_us")
+        waits_by_class = wait_breakdown(snapshot)
         failures = [f for tally in tallies for f in tally.failures]
-        counters = {name: value for name, value in stats.counters().items()
+        counters = {name: value for name, value in snapshot.items()
                     if name.startswith(("serve.", "txn.", "lock.", "wal.",
-                                        "ckpt.", "sanitize."))}
+                                        "ckpt.", "waits.", "sanitize."))}
         group_hist = stats.histogram("wal.group_size")
         return LoadReport(
             clients=len(tallies),
@@ -339,6 +375,12 @@ class LoadHarness:
             wal_group_commits=counters.get("wal.group_commits", 0),
             group_size_p50=group_hist.quantile(0.5) if group_hist else 0,
             group_size_max=group_hist.max if group_hist else 0,
+            waits_by_class=waits_by_class,
+            wait_total_us=sum(waits_by_class.values()),
+            p50_request_wait_us=wait_hist.quantile(0.5)
+            if wait_hist and wait_hist.count else 0,
+            p99_request_wait_us=wait_hist.quantile(0.99)
+            if wait_hist and wait_hist.count else 0,
         )
 
     def verify_commits(self, tallies: list,
@@ -394,17 +436,39 @@ class LoadHarness:
 
 def run_load(clients: int = 100, ops_per_client: int = 5, seed: int = 0,
              workers: int = 8, queue_limit: int = 64,
-             deadline: float = 5.0, **config_overrides) -> LoadReport:
-    """Build engine + server, run the workload, tear down, report."""
+             deadline: float = 5.0, trace: EventTrace | None = None,
+             stats_interval: float = 0.0,
+             **config_overrides) -> LoadReport:
+    """Build engine + server, run the workload, tear down, report.
+
+    Passing ``trace`` installs the structured event trace on the engine's
+    registry for the duration of the run (IFCID-style records: accounting
+    per request/transaction, performance per suspension); a positive
+    ``stats_interval`` additionally runs the statistics-interval collector
+    thread against it.  The caller owns the trace — export it with
+    :meth:`~repro.obs.events.EventTrace.write_jsonl` afterwards.
+    """
     config = serving_config(clients, ops_per_client,
                             serve_workers=workers,
                             serve_queue_limit=queue_limit,
                             **config_overrides)
     db, hot_ids = build_database(config)
-    server = DatabaseServer(db).start()
-    harness = LoadHarness(db, server, hot_ids)
-    report = harness.run(clients, ops_per_client, seed=seed,
-                         deadline=deadline)
+    collector = None
+    if trace is not None:
+        trace.install(db.stats)
+        if stats_interval > 0:
+            collector = StatsCollector(db.stats, trace,
+                                       interval=stats_interval).start()
+    try:
+        server = DatabaseServer(db).start()
+        harness = LoadHarness(db, server, hot_ids)
+        report = harness.run(clients, ops_per_client, seed=seed,
+                             deadline=deadline)
+    finally:
+        if collector is not None:
+            collector.stop()
+        if trace is not None:
+            trace.uninstall(db.stats)
     db.close()
     return report
 
@@ -429,13 +493,27 @@ def main(argv: list | None = None) -> int:
                              "a background thread")
     parser.add_argument("--out", type=str, default="",
                         help="write the JSON report here")
+    parser.add_argument("--trace-out", type=str, default="",
+                        help="record a structured event trace during the "
+                             "run and write it here as JSONL (feed it to "
+                             "python -m repro.obs.perf)")
+    parser.add_argument("--stats-interval", type=float, default=0.0,
+                        help="with --trace-out: emit STATISTICS interval "
+                             "records every this many seconds")
     options = parser.parse_args(argv)
+    trace = EventTrace() if options.trace_out else None
     report = run_load(clients=options.clients, ops_per_client=options.ops,
                       seed=options.seed, workers=options.workers,
                       queue_limit=options.queue_limit,
                       deadline=options.deadline,
+                      trace=trace,
+                      stats_interval=options.stats_interval,
                       txn_group_commit=options.group_commit,
                       ckpt_background=options.background_checkpointer)
+    if trace is not None:
+        count = trace.write_jsonl(options.trace_out)
+        print(f"# wrote {count} trace records to {options.trace_out}",
+              file=sys.stderr)
     rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
     print(rendered)
     if options.out:

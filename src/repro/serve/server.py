@@ -35,6 +35,7 @@ import itertools
 import queue as _queue
 import threading
 import time
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.analyze import sanitize as _sanitize
@@ -359,55 +360,90 @@ class DatabaseServer:
                     self._busy -= 1
 
     def _process(self, request: _Request) -> bool:
-        """Run one request; False tells the worker to stop (crash)."""
+        """Run one request; False tells the worker to stop (crash).
+
+        The whole lifecycle runs under a wait clock backdated to the
+        submit timestamp, so the request's elapsed time decomposes as
+        ``elapsed = cpuish + Σ waits``: the admission-queue wait charged
+        up front, the engine-latch acquisition as ``latch.wait``, and
+        every suspension the work itself hits (lock waits, group commit,
+        buffer I/O, retry backoff) through the engine's own wait timers.
+        With an event trace installed the worker also stamps its records
+        with the request label, which is how ``repro.obs.perf``
+        reassembles per-request span trees from a trace.
+        """
         queue_wait_us = (time.monotonic_ns() - request.submitted_ns) // 1000
         self.stats.observe("serve.queue_wait_us", queue_wait_us)
-        if request.deadline is not None and request.deadline.expired():
-            self.stats.add("serve.deadline_expired")
-            request.finish(error=DeadlineExceededError(
-                f"request {request.label!r} spent its deadline in the "
-                f"admission queue ({queue_wait_us}us)"))
-            return True
-        try:
-            with self.db.latch:
-                result = request.work(self.db)
-        except SimulatedCrash as crash:
-            # A crash plan fired on this worker: the simulated process is
-            # dead.  Record it, stop admitting, and let shutdown re-raise.
-            self._note_crash(crash)
-            with self._state_lock:
-                self._witness("_state", write=True)
-                if self._state == "serving":
-                    self._state = "draining"
-            request.finish(error=crash)
-            self._observe_request(request)
-            return False
-        except BaseException as error:
-            # The server/client boundary: every failure is marshalled to
-            # the waiting client thread, which re-raises it from
-            # ``_Request.wait`` — nothing is swallowed.  Non-``Exception``
-            # escapees (KeyboardInterrupt, SystemExit) additionally
-            # propagate here to take the worker down.
-            if not isinstance(error, Exception):
-                request.finish(error=error)
-                raise
-            if isinstance(error, DeadlineExceededError):
+        events = self.stats.events
+        ctx = (events.context(request=request.label)
+               if events is not None else nullcontext())
+        with ctx, self.stats.request_clock(
+                started_ns=request.submitted_ns) as waits:
+            self.stats.charge_wait("admission.queue", queue_wait_us)
+            if request.deadline is not None and request.deadline.expired():
                 self.stats.add("serve.deadline_expired")
+                request.finish(error=DeadlineExceededError(
+                    f"request {request.label!r} spent its deadline in the "
+                    f"admission queue ({queue_wait_us}us)"))
+                self._observe_request(request, waits)
+                return True
+            try:
+                latch_wait_from = time.monotonic_ns()
+                with self.db.latch:
+                    # Charged inside the region (from a timestamp taken
+                    # before it) so the latch stays a plain ``with`` block
+                    # for the static latch-inference checkers.
+                    self.stats.charge_wait(
+                        "latch.wait",
+                        (time.monotonic_ns() - latch_wait_from) // 1000)
+                    result = request.work(self.db)
+            except SimulatedCrash as crash:
+                # A crash plan fired on this worker: the simulated process
+                # is dead.  Record it, stop admitting, and let shutdown
+                # re-raise.
+                self._note_crash(crash)
+                with self._state_lock:
+                    self._witness("_state", write=True)
+                    if self._state == "serving":
+                        self._state = "draining"
+                request.finish(error=crash)
+                self._observe_request(request, waits)
+                return False
+            except BaseException as error:
+                # The server/client boundary: every failure is marshalled
+                # to the waiting client thread, which re-raises it from
+                # ``_Request.wait`` — nothing is swallowed.
+                # Non-``Exception`` escapees (KeyboardInterrupt,
+                # SystemExit) additionally propagate here to take the
+                # worker down.
+                if not isinstance(error, Exception):
+                    request.finish(error=error)
+                    raise
+                if isinstance(error, DeadlineExceededError):
+                    self.stats.add("serve.deadline_expired")
+                else:
+                    self.stats.add("serve.failed")
+                    if isinstance(error, FaultInjectionError):
+                        self.stats.add("serve.chaos_faults")
+                request.finish(error=error)
             else:
-                self.stats.add("serve.failed")
-                if isinstance(error, FaultInjectionError):
-                    self.stats.add("serve.chaos_faults")
-            request.finish(error=error)
-        else:
-            self.stats.add("serve.completed")
-            request.finish(result=result)
-        self._observe_request(request)
-        return True
+                self.stats.add("serve.completed")
+                request.finish(result=result)
+            self._observe_request(request, waits)
+            return True
 
-    def _observe_request(self, request: _Request) -> None:
-        self.stats.observe(
-            "serve.request_us",
-            (time.monotonic_ns() - request.submitted_ns) // 1000)
+    def _observe_request(self, request: _Request,
+                         waits: dict[str, int] | None = None) -> None:
+        elapsed_us = (time.monotonic_ns() - request.submitted_ns) // 1000
+        self.stats.observe("serve.request_us", elapsed_us)
+        events = self.stats.events
+        if events is not None:
+            error = request.error
+            events.accounting(
+                "serve.request", request=request.label,
+                elapsed_us=elapsed_us,
+                outcome=("ok" if error is None else type(error).__name__),
+                waits=dict(waits) if waits else {})
 
     def _purge_queue(self) -> None:
         while True:

@@ -247,6 +247,71 @@ class TestStatsHygieneChecker:
                                 root=tmp_path)
         assert [f.code for f in findings] == ["STAT003"]
 
+    def test_unregistered_wait_class_is_flagged(self, tmp_path):
+        registry = write(tmp_path, "repro/core/stats.py", """\
+            METRICS = frozenset({"buffer.hits"})
+            WAITS = frozenset({"lock.wait"})
+            """)
+        user = write(tmp_path, "repro/user.py", """\
+            def block(stats):
+                with stats.wait_timer("lock.wait"):
+                    pass
+                stats.charge_wait("lock.wayt", 5)
+            """)
+        findings = run_checkers([StatsHygieneChecker()], [registry, user],
+                                root=tmp_path)
+        assert [f.code for f in findings] == ["STAT004"]
+        assert findings[0].detail == "lock.wayt"
+        assert findings[0].line == line_of(user, "lock.wayt")
+
+    def test_uncharged_sleep_is_flagged(self, tmp_path):
+        path = write(tmp_path, "sleeper.py", """\
+            import time
+
+            class Poller:
+                def spin(self):
+                    time.sleep(0.01)
+            """)
+        findings = run_checkers([StatsHygieneChecker()], [path],
+                                root=tmp_path)
+        assert [f.code for f in findings] == ["STAT004"]
+        assert findings[0].scope == "Poller.spin"
+        assert findings[0].line == line_of(path, "time.sleep")
+
+    def test_wait_timer_wrapped_sleep_is_clean(self, tmp_path):
+        findings = run_on(tmp_path, StatsHygieneChecker(), "charged.py", """\
+            import time
+
+            class Backoff:
+                def pause(self, stats):
+                    with stats.wait_timer("txn.retry_backoff"):
+                        time.sleep(0.01)
+            """)
+        assert findings == []
+
+    def test_latch_yield_allowlist_is_clean(self, tmp_path):
+        findings = run_on(tmp_path, StatsHygieneChecker(), "yield.py", """\
+            from time import sleep
+
+            class DatabaseServer:
+                def _latch_sleep(self, seconds):
+                    self.latch.release()
+                    try:
+                        sleep(seconds)
+                    finally:
+                        self.latch.acquire()
+            """)
+        assert findings == []
+
+    def test_bare_sleep_alias_is_a_sleep_site(self, tmp_path):
+        findings = run_on(tmp_path, StatsHygieneChecker(), "alias.py", """\
+            from time import sleep
+
+            def nap():
+                sleep(0.5)
+            """)
+        assert [f.code for f in findings] == ["STAT004"]
+
 
 class TestWalDisciplineChecker:
     def test_undominated_flush_is_flagged(self, tmp_path):

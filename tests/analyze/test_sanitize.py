@@ -46,6 +46,36 @@ class TestBufferSanitizers:
             pool.unpin(page_id)
         assert stats.get("sanitize.double_unpin") == 1
 
+    def test_thread_scope_ignores_foreign_thread_pins(self, armed, stats):
+        pool = make_pool(stats)
+        page_id, _ = pool.new_page()  # pinned by this thread
+        assert pool.pinned_by_caller() == [page_id]
+        errors = []
+
+        def probe():
+            # A monitor-style reader on another thread: the pin is not its
+            # leak, so the thread-scoped quiesce check stays quiet.
+            assert pool.pinned_by_caller() == []
+            try:
+                sanitize.check_pool_quiesced(pool, stats, scope="thread")
+            except SanitizerError as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert errors == []
+        # The pinning thread itself still trips...
+        with pytest.raises(SanitizerError):
+            sanitize.check_pool_quiesced(pool, stats, scope="thread")
+        # ...and the global scope (shutdown) sees the pin from anywhere.
+        with pytest.raises(SanitizerError):
+            sanitize.check_pool_quiesced(pool, stats)
+        pool.unpin(page_id, dirty=True)
+        assert pool.pinned_by_caller() == []
+        sanitize.check_pool_quiesced(pool, stats, scope="thread")
+        sanitize.check_pool_quiesced(pool, stats)
+
     def test_double_unpin_not_counted_when_disarmed(self, stats):
         sanitize.disable()
         pool = make_pool(stats)

@@ -45,6 +45,52 @@ class TestPrometheus:
         write_prometheus(sample_stats(), str(path))
         assert "repro_disk_page_reads_total 7" in path.read_text()
 
+    def test_golden_exposition(self):
+        # The full exposition, literally: HELP precedes TYPE for every
+        # family, bucket counts are cumulative, +Inf closes each histogram.
+        assert render_prometheus(sample_stats()) == (
+            "# HELP repro_disk_page_reads_total Engine counter "
+            "disk.page_reads (see repro.core.stats registries)\n"
+            "# TYPE repro_disk_page_reads_total counter\n"
+            "repro_disk_page_reads_total 7\n"
+            "# HELP repro_xscan_peak_units Engine gauge xscan.peak_units "
+            "(see repro.core.stats registries)\n"
+            "# TYPE repro_xscan_peak_units gauge\n"
+            "repro_xscan_peak_units 5\n"
+            "# HELP repro_btree_search_entries Engine histogram "
+            "btree.search_entries (see repro.core.stats registries)\n"
+            "# TYPE repro_btree_search_entries histogram\n"
+            'repro_btree_search_entries_bucket{le="1"} 1\n'
+            'repro_btree_search_entries_bucket{le="4"} 2\n'
+            'repro_btree_search_entries_bucket{le="128"} 3\n'
+            'repro_btree_search_entries_bucket{le="+Inf"} 3\n'
+            "repro_btree_search_entries_sum 94\n"
+            "repro_btree_search_entries_count 3\n")
+
+    def test_curated_help_overrides(self):
+        stats = StatsRegistry()
+        stats.observe("serve.request_us", 42)
+        text = render_prometheus(stats)
+        assert ("# HELP repro_serve_request_us End-to-end request latency "
+                "in microseconds (submit to finish, queue wait included)"
+                in text)
+
+    def test_help_and_label_escaping(self):
+        from repro.obs.exporters import _escape_help, _escape_label
+        assert _escape_help("a\\b\nc") == "a\\\\b\\nc"
+        assert _escape_label('say "hi"\\\n') == 'say \\"hi\\"\\\\\\n'
+
+    def test_bucket_counts_are_cumulative_and_end_at_count(self):
+        stats = StatsRegistry()
+        for value in (1, 1, 2, 500, 10_000_000):
+            stats.observe("serve.request_us", value)
+        text = render_prometheus(stats)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()
+                  if line.startswith("repro_serve_request_us_bucket")]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts[-1] == 5, "+Inf bucket must equal the sample count"
+
 
 class TestJsonArtifacts:
     def test_metrics_to_dict_shape(self):

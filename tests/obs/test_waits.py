@@ -1,0 +1,154 @@
+"""The wait clock (DB2 accounting class-3 analogue) and its reading side."""
+
+import threading
+
+import pytest
+
+from repro.analyze import sanitize
+from repro.core.config import EngineConfig
+from repro.core.engine import Database
+from repro.core.stats import WAITS, StatsRegistry, wait_counter
+from repro.errors import SanitizerError
+from repro.obs.waits import (WAIT_CLASS_ORDER, format_breakdown,
+                             total_wait_us, wait_breakdown, wait_profile)
+
+
+@pytest.fixture
+def stats():
+    return StatsRegistry()
+
+
+@pytest.fixture
+def unarmed():
+    """Disarm sanitizers for tests that forge wait charges (a forged
+    charge inside a microsecond-long clock is exactly what the reconcile
+    sanitizer exists to reject)."""
+    was_armed = sanitize.enabled()
+    sanitize.disable()
+    yield
+    if was_armed:
+        sanitize.enable()
+
+
+@pytest.fixture
+def armed():
+    """Arm sanitizers for one test, restoring the suite's state after."""
+    was_armed = sanitize.enabled()
+    sanitize.enable()
+    yield
+    if not was_armed:
+        sanitize.disable()
+
+
+class TestChargeWait:
+    def test_charge_lands_in_the_class_counter(self, stats):
+        stats.charge_wait("lock.wait", 250)
+        assert stats.get("waits.lock_wait_us") == 250
+        assert stats.get(wait_counter("lock.wait")) == 250
+
+    def test_zero_and_negative_charges_are_dropped(self, stats):
+        stats.charge_wait("lock.wait", 0)
+        stats.charge_wait("lock.wait", -5)
+        assert stats.counters().get("waits.lock_wait_us", 0) == 0
+
+    def test_wait_timer_charges_wall_clock(self, stats):
+        import time
+        with stats.wait_timer("wal.force"):
+            time.sleep(0.002)
+        assert stats.get("waits.wal_force_us") >= 1000
+
+    def test_every_wait_class_has_a_registered_counter(self, stats):
+        from repro.core.stats import METRICS
+        for wait_class in WAITS:
+            assert wait_counter(wait_class) in METRICS
+
+
+class TestRequestClock:
+    def test_charges_fold_into_the_open_clock(self, stats, unarmed):
+        with stats.request_clock() as waits:
+            stats.charge_wait("lock.wait", 100)
+            stats.charge_wait("lock.wait", 50)
+            stats.charge_wait("wal.force", 10)
+        assert waits == {"lock.wait": 150, "wal.force": 10}
+        hist = stats.histogram("waits.request_wait_us")
+        assert hist is not None and hist.count == 1
+
+    def test_nested_clocks_both_see_inner_charges(self, stats, unarmed):
+        with stats.request_clock() as outer:
+            stats.charge_wait("admission.queue", 40)
+            with stats.request_clock() as inner:
+                stats.charge_wait("lock.wait", 7)
+        assert inner == {"lock.wait": 7}
+        assert outer == {"admission.queue": 40, "lock.wait": 7}
+
+    def test_clock_is_thread_local(self, stats, unarmed):
+        seen = {}
+
+        def other():
+            with stats.request_clock() as waits:
+                seen["other"] = dict(waits)
+
+        with stats.request_clock() as waits:
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+            stats.charge_wait("lock.wait", 9)
+        assert waits == {"lock.wait": 9}
+        assert seen["other"] == {}
+
+    def test_reconcile_trips_on_overcharge(self, stats, armed):
+        with pytest.raises(SanitizerError, match="waits.reconcile"):
+            with stats.request_clock():
+                # An hour of forged wait inside a microsecond block can
+                # only mean a double-charge; the sanitizer must say so.
+                stats.charge_wait("lock.wait", 3_600_000_000)
+        assert stats.get("sanitize.waits.reconcile") == 1
+
+    def test_honest_charges_reconcile(self, stats, armed):
+        import time
+        with stats.request_clock():
+            with stats.wait_timer("lock.wait"):
+                time.sleep(0.001)
+        assert stats.get("sanitize.waits.reconcile") == 0
+
+
+class TestReadingSide:
+    def test_order_covers_the_registry(self):
+        assert frozenset(WAIT_CLASS_ORDER) == WAITS
+
+    def test_breakdown_folds_counters(self, stats):
+        stats.charge_wait("lock.wait", 120)
+        stats.charge_wait("wal.force", 30)
+        by_class = wait_breakdown(stats.counters())
+        assert by_class == {"lock.wait": 120, "wal.force": 30}
+        assert total_wait_us(stats.counters()) == 150
+
+    def test_format_breakdown_mentions_each_class(self, stats):
+        stats.charge_wait("lock.wait", 120)
+        text = "\n".join(format_breakdown({"lock.wait": 120}))
+        assert "lock.wait" in text and "120" in text
+
+    def test_profile_shape(self, stats, unarmed):
+        with stats.request_clock():
+            stats.charge_wait("lock.wait", 80)
+        profile = wait_profile(stats)
+        assert profile["total_us"] == 80
+        assert profile["by_class"] == {"lock.wait": 80}
+        assert profile["request_wait"]["count"] == 1
+        assert profile["request_wait"]["max_us"] >= 80
+
+
+class TestTxnAccountingWaits:
+    def test_txn_wait_breakdown_reaches_accounting(self):
+        db = Database(EngineConfig())
+        db.create_table("t", [("id", "bigint"), ("doc", "xml")])
+        db.run_in_txn(lambda eng, txn: eng.insert(
+            "t", (1, "<a><b>x</b></a>"), txn_id=txn.txn_id))
+        record = db.txns.accounting.records()[-1]
+        assert record.wait_us == sum(record.waits.values())
+        as_dict = record.to_dict()
+        assert as_dict["wait_us"] == record.wait_us
+        assert as_dict["waits"] == dict(record.waits)
+        # Whatever was charged is a subset of the registered classes.
+        assert set(record.waits) <= WAITS
+        db.close()

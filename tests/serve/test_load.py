@@ -68,3 +68,30 @@ class TestLoadHarness:
         rendered = json.loads(json.dumps(report.to_dict()))
         assert rendered["clients"] == 8
         assert "latency_us" in rendered
+        waits = rendered["waits"]
+        assert waits["total_us"] == sum(waits["by_class"].values())
+
+    def test_sanitized_traced_load_reconciles(self):
+        """A sanitized traced run: Σ waits ≤ elapsed on every clock (no
+        ``sanitize.waits.*`` trip survives ``_report``'s zero check), the
+        per-request wait breakdown is populated, and the trace retains
+        accounting records for served requests."""
+        from repro.analyze import sanitize
+        from repro.obs.events import EventTrace
+
+        trace = EventTrace()
+        was_armed = sanitize.enabled()
+        sanitize.enable()
+        try:
+            report = run_load(clients=12, ops_per_client=3, seed=3,
+                              workers=4, deadline=30.0, trace=trace)
+        finally:
+            if not was_armed:
+                sanitize.disable()
+        assert report.verified, report.verify_errors
+        assert report.counters.get("sanitize.waits.reconcile", 0) == 0
+        from repro.core.stats import WAITS
+        assert set(report.waits_by_class) <= WAITS
+        served = [r for r in trace.records() if r.name == "serve.request"]
+        assert served and all(r.request for r in served)
+        assert any(r.name.startswith("wait.") for r in trace.records())
