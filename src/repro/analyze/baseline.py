@@ -61,17 +61,20 @@ class Baseline:
                 raise BaselineError(
                     f"{path}:{lineno}: baseline entry has no reason — every "
                     f"suppression must document why it is intentional")
-            parts = body.split()
+            # Split on the first whitespace run only: fingerprints may
+            # themselves contain spaces (e.g. WAL002's 'except Exception:').
+            parts = body.split(None, 1)
             if len(parts) != 2:
                 raise BaselineError(
                     f"{path}:{lineno}: expected 'CODE fingerprint  # reason'")
-            code, rest = parts
-            if code.startswith(("RACE", "LATCH")) and \
+            code, rest = parts[0], parts[1].strip()
+            if code.startswith(("RACE", "LATCH", "SHARD")) and \
                     not reason.lower().startswith("reason:"):
                 raise BaselineError(
                     f"{path}:{lineno}: baselined {code} entries must carry "
                     f"a '# reason: ...' comment stating the runtime claim "
-                    f"that makes the race intentional")
+                    f"that makes the race (or cross-shard reach) "
+                    f"intentional")
             entries.append(BaselineEntry(f"{code}:{rest}", reason, lineno))
         return cls(entries)
 
@@ -110,8 +113,8 @@ def prune_stale(path: Path, stale_fingerprints: set[str]) -> int:
     for raw in path.read_text().splitlines():
         line = raw.strip()
         if line and not line.startswith("#"):
-            body = line.partition("#")[0].split()
-            if len(body) == 2 and f"{body[0]}:{body[1]}" in \
+            body = line.partition("#")[0].split(None, 1)
+            if len(body) == 2 and f"{body[0]}:{body[1].strip()}" in \
                     stale_fingerprints:
                 dropped += 1
                 continue

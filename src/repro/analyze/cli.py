@@ -20,8 +20,11 @@ from repro.analyze.excsafety import ExceptionSafetyChecker
 from repro.analyze.framework import Checker, run_checkers
 from repro.analyze.lockorder import LockOrderChecker
 from repro.analyze.pins import PinLeakChecker
+from repro.analyze.progcache import cached_program
 from repro.analyze.races import LatchBlockingChecker, SharedStateRaceChecker
 from repro.analyze.rawdisk import RawDiskChecker
+from repro.analyze.resources import ResourceFlowChecker
+from repro.analyze.sarif import to_sarif
 from repro.analyze.statshygiene import StatsHygieneChecker
 from repro.analyze.txnscope import TxnScopeChecker
 from repro.analyze.waldiscipline import WalDisciplineChecker
@@ -42,6 +45,7 @@ def all_checkers() -> list[Checker]:
         TxnScopeChecker(),
         SharedStateRaceChecker(),
         LatchBlockingChecker(),
+        ResourceFlowChecker(),
     ]
 
 
@@ -62,7 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--select", default=None,
                         help="comma-separated checker names or finding "
                              "codes to run (e.g. pin-leak,LOCK001)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="parse and analyze from scratch, bypassing the "
+                             "on-disk program cache")
     parser.add_argument("--explain", action="store_true",
                         help="print the witnessing call path under every "
                              "interprocedural finding")
@@ -117,10 +125,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1
     checkers, code_filter = _select(checkers, args.select)
 
-    parse_errors: list[str] = []
-    findings = run_checkers(
-        checkers, paths, root=Path.cwd(),
-        on_error=lambda path, exc: parse_errors.append(f"{path}: {exc}"))
+    program, parse_errors, cache_info = cached_program(
+        paths, root=Path.cwd(), enabled=not args.no_cache)
+    findings = run_checkers(checkers, paths, root=Path.cwd(),
+                            program=program)
     if code_filter is not None:
         findings = [f for f in findings if f.code in code_filter]
 
@@ -154,7 +162,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             "baselined": [f.as_dict() for f in suppressed],
             "stale_baseline_entries": [e.fingerprint for e in stale],
             "parse_errors": parse_errors,
+            "cache": cache_info.as_dict(),
         }, indent=2))
+    elif args.format == "sarif":
+        justifications = {fingerprint: entry.reason
+                          for fingerprint, entry in baseline.entries.items()}
+        print(json.dumps(to_sarif(checkers, new, suppressed, parse_errors,
+                                  justifications), indent=2))
     else:
         for error in parse_errors:
             print(f"parse error: {error}", file=sys.stderr)

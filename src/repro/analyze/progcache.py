@@ -1,0 +1,132 @@
+"""On-disk cache for parsed :class:`~repro.analyze.framework.Program`.
+
+Parsing every module, indexing parent links, resolving the call graph and
+running the effect fixpoint dominates analyzer latency, and none of it
+changes unless a source file (or the analyzer itself) changes.  The cache
+pickles the fully built :class:`Program` — modules, call graph *and*
+effect summaries — keyed by a digest over:
+
+* every analyzer source file (``repro/analyze/*.py``): an analyzer change
+  changes the semantics of a cached result, so it must miss;
+* every analyzed file's path and content hash: any edit, addition or
+  removal misses.
+
+The cache is strictly an optimization: corrupt or unreadable entries are
+discarded and the program is rebuilt; failures to *write* are ignored
+(read-only checkouts still analyze).  Cache files live under
+``.repro_analyze_cache/`` next to the analysis root and are disposable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.analyze.framework import Program, SourceModule, iter_python_files
+
+#: Cache directory created under the analysis root (gitignored).
+CACHE_DIR_NAME = ".repro_analyze_cache"
+
+#: Deep ASTs plus parent back-links exceed the default recursion limit
+#: while pickling; raised temporarily around dump/load.
+_PICKLE_RECURSION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """What the cache did for one run (reported in ``--format json``)."""
+
+    enabled: bool
+    hit: bool
+    key: str
+    path: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {"enabled": self.enabled, "hit": self.hit,
+                "key": self.key, "path": self.path}
+
+
+def _analyzer_sources() -> list[Path]:
+    return sorted(Path(__file__).resolve().parent.glob("*.py"))
+
+
+def compute_key(files: Iterable[Path]) -> str:
+    """Digest over analyzer sources and analyzed file contents."""
+    digest = hashlib.sha256()
+    for source in _analyzer_sources():
+        digest.update(source.name.encode())
+        digest.update(hashlib.sha256(source.read_bytes()).digest())
+    digest.update(b"--analyzed--")
+    for path in files:
+        digest.update(str(path).encode())
+        try:
+            content = path.read_bytes()
+        except OSError:
+            content = b"<unreadable>"
+        digest.update(hashlib.sha256(content).digest())
+    return digest.hexdigest()[:32]
+
+
+def _pickle_guard(operation: Callable[..., Any], *args: Any) -> Any:
+    limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(limit, _PICKLE_RECURSION_LIMIT))
+    try:
+        return operation(*args)
+    finally:
+        sys.setrecursionlimit(limit)
+
+
+def cached_program(paths: Iterable[Path], root: Path | None = None,
+                   enabled: bool = True
+                   ) -> tuple[Program, list[str], CacheInfo]:
+    """The Program for ``paths``, from cache when possible.
+
+    Returns ``(program, parse_errors, info)``; ``parse_errors`` are the
+    rendered ``"path: error"`` strings for files that failed to parse
+    (replayed from the cache on a hit, so output is identical either way).
+    """
+    root = root if root is not None else Path.cwd()
+    files = list(iter_python_files(paths))
+    key = compute_key(files)
+    cache_path = root / CACHE_DIR_NAME / f"program-{key}.pickle"
+    info = CacheInfo(enabled=enabled, hit=False, key=key,
+                     path=str(cache_path))
+    if enabled and cache_path.exists():
+        try:
+            payload = _pickle_guard(pickle.loads, cache_path.read_bytes())
+            cached: Program = payload["program"]
+            cached_errors = [str(text) for text in payload["parse_errors"]]
+        except Exception:  # corrupt/stale cache: fall through and rebuild
+            pass
+        else:
+            return cached, cached_errors, CacheInfo(
+                enabled=True, hit=True, key=key, path=str(cache_path))
+    program = Program()
+    parse_errors: list[str] = []
+    for path in files:
+        try:
+            module = SourceModule(path, root)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            parse_errors.append(f"{path}: {exc}")
+            continue
+        program.add(module)
+    # Build the expensive whole-program structures *before* caching so a
+    # hit skips the call-graph resolution and the effect fixpoint too.
+    program.callgraph()
+    program.effects()
+    if enabled:
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            payload_bytes = _pickle_guard(
+                pickle.dumps,
+                {"program": program, "parse_errors": parse_errors})
+            tmp = cache_path.with_suffix(".tmp")
+            tmp.write_bytes(payload_bytes)
+            tmp.replace(cache_path)
+        except Exception:  # caching is best-effort; analysis succeeded
+            pass
+    return program, parse_errors, info

@@ -1,0 +1,808 @@
+"""Instance-sensitive resource-flow analysis: is the engine shard-ready?
+
+A shard-per-member engine (DB2 data-sharing style: one buffer pool, one
+log, one lock structure per member, coordinated through group facilities)
+can only be carved out of a single-node engine if every component reaches
+its poolable resources — buffer pool, WAL, lock manager, catalog, stats
+sink — through an *explicit* handle: a constructor capture it declared, a
+parameter, or a :class:`repro.core.context.ShardContext` capability
+bundle.  A component that reaches ``self.db.pool`` or a module global
+instead is wired to *the* engine, and silently breaks the moment a second
+shard exists.
+
+This module classifies every resource reach in the program:
+
+* **explicit** — rooted at ``self.<declared field>``, at a resource-kind
+  parameter, at a context parameter/field (``context.pool``), or reached
+  through another explicit resource (``self.pool.stats`` is the pool's
+  own sink);
+* **ambient** — the chain crosses a component boundary before reaching
+  the resource (``self.db.pool``, ``manager.locks``) or roots at a
+  module-level singleton defined elsewhere (``GLOBAL_STATS``).
+
+Per-function *footprints* (kind -> explicit/ambient/mixed) are computed
+directly and propagated to a fixpoint over the call graph, mirroring
+:mod:`repro.analyze.effects`; :meth:`ResourceFlowAnalysis.footprint_map`
+exports the direct footprints for the runtime cross-check
+(:func:`repro.analyze.sanitize.cross_check_resource_footprints`).
+
+Four finding codes enforce shard closure:
+
+* **SHARD001** — a function reaches an engine singleton (pool, log,
+  locks, catalog, stats) ambiently.  Constructor scopes are exempt —
+  capture wiring is SHARD003's domain — as is the diagnostic plane
+  (``repro/obs/``, ``repro/fault/``, the load generator, this analyzer),
+  which deliberately observes across shard boundaries.
+* **SHARD002** — one function uses resource instances of the same class
+  from two distinct construction sites with no context parameter to tell
+  them apart: the code is already multi-instance but has no way to say
+  *which shard* it means.
+* **SHARD003** — a constructor captures a resource-kind value into a
+  field the class does not declare in ``_shard_scoped_``.  The tuple is
+  the auditable inventory of long-lived resource captures; a capture
+  outside it is invisible to any future shard-migration sweep.
+  Self-constructed resources (``self.space = TableSpace(...)``) are the
+  component's own property, not a capture, and are exempt.
+* **SHARD004** — a function both writes WAL and forces pages (the
+  recovery-critical pairing) with *differing* footprint labels for the
+  log and the pool: half the durability protocol is shard-explicit, the
+  other half ambient, so sharding would pair one shard's log with
+  another's pages.
+
+Approximations, all conservative toward silence (no invented chains):
+locals are expanded one assignment deep and flow-insensitively; opaque
+roots (call results, subscripts, loop variables) are skipped; names are
+classified lexically (``pool``, ``*_log``, ``stats``...), the same
+receiver-name philosophy the effect engine uses.  The runtime shard
+stamps in :mod:`repro.analyze.sanitize` cover the dynamic blind spots.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analyze import effects as fx
+from repro.analyze.callgraph import CallSite, FunctionInfo
+from repro.analyze.findings import Finding
+from repro.analyze.framework import (Checker, Program, SourceModule,
+                                     call_name, iter_python_files)
+
+#: Engine classes whose instances are poolable, shard-scopable resources,
+#: mapped to their resource kind.
+RESOURCE_CLASSES = {
+    "BufferPool": "pool",
+    "LogManager": "log",
+    "LockManager": "locks",
+    "Catalog": "catalog",
+    "StatsRegistry": "stats",
+    "TableSpace": "tablespace",
+    "BTree": "index",
+    "NodeIdIndex": "index",
+    "XPathValueIndex": "index",
+}
+
+#: Kinds with exactly one engine-wide instance today — the singletons a
+#: ShardContext must replace.  SHARD001 restricts itself to these;
+#: tablespaces and indexes are born per-table and are covered by the
+#: instance-mixing rule (SHARD002) and the runtime stamps instead.
+SINGLETON_KINDS = frozenset({"pool", "log", "locks", "catalog", "stats"})
+
+#: Names that denote a capability bundle, not a resource: a chain hop
+#: through one of these stays explicit (``self.context.pool``).
+CONTEXT_NAMES = frozenset({"context", "ctx", "shard_context", "shard"})
+
+#: Diagnostic-plane paths: cross-shard reach is their job, not a defect.
+_EXEMPT_PATH_PARTS = ("/repro/obs/", "/repro/fault/", "/repro/analyze/",
+                      "/repro/serve/loadgen.py")
+
+#: Constructor scopes: capture wiring lives here and is judged by
+#: SHARD003, not by the ambient-reach rule.
+_CTOR_METHODS = ("__init__", "__post_init__", "__new__")
+
+EXPLICIT = "explicit"
+AMBIENT = "ambient"
+MIXED = "mixed"
+
+
+def kind_of_name(name: str) -> str | None:
+    """Resource kind a field/parameter name denotes (None: not a resource).
+
+    Lexical, like the effect engine's receiver tests: ``pool``/``*pool``,
+    ``log``/``wal``/``*_log``/``*_wal``, ``locks``, ``catalog``,
+    ``stats``/``*stats``, ``space``/``tablespace``/``*_space``,
+    ``tree``/``index``/``node_index``/``*_index``.
+    """
+    token = name.lstrip("_").lower()
+    if token == "pool" or token.endswith("pool"):
+        return "pool"
+    if token in ("log", "wal") or token.endswith(("_log", "_wal")):
+        return "log"
+    if token == "locks":
+        return "locks"
+    if token == "catalog":
+        return "catalog"
+    if token == "stats" or token.endswith("stats"):
+        return "stats"
+    if token in ("space", "tablespace") or token.endswith("_space"):
+        return "tablespace"
+    if token in ("tree", "index", "node_index") or token.endswith("_index"):
+        return "index"
+    return None
+
+
+def diagnostic_plane(relpath: str) -> bool:
+    """Is ``relpath`` part of the cross-shard diagnostic plane?"""
+    probe = "/" + relpath
+    return any(part in probe for part in _EXEMPT_PATH_PARTS)
+
+
+def _chain_segments(expr: ast.expr) -> list[str] | None:
+    """``['self', 'db', 'pool']`` for ``self.db.pool``; None when any link
+    is not a plain Name/Attribute (call results, subscripts...)."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = node.args
+    names = {p.arg for p in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    return names
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One statically identified resource instance (a construction site)."""
+
+    key: str    # unique identity: "relpath:line" of the constructor call
+    label: str  # line-stable label used in fingerprints and messages
+    cls: str    # constructing class name (BufferPool, BTree, ...)
+    kind: str
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class ResourceRef:
+    """One reach of a resource inside one function."""
+
+    kind: str
+    mode: str            # EXPLICIT or AMBIENT
+    chain: str           # dotted chain text ("self.db.pool")
+    hop: str | None      # the segment that made the chain ambient
+    node: ast.AST
+    instance: Instance | None = None
+
+
+@dataclass(frozen=True)
+class Capture:
+    """One ``self.field = <resource>`` assignment in a constructor."""
+
+    cls_name: str
+    field: str
+    kind: str
+    value_text: str
+    node: ast.stmt
+    module: SourceModule
+    cls_line: int
+
+
+class FlowWitness:
+    """How one footprint bit entered one function's summary."""
+
+    def __init__(self, path: str, line: int, text: str,
+                 via: CallSite | None = None) -> None:
+        self.path = path
+        self.line = line
+        self.text = text
+        self.via = via  # None => direct reach in this very function
+
+
+class ResourceFlowAnalysis:
+    """Resource references, instances and footprints for a whole program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.graph = program.callgraph()
+        #: class name -> (_shard_scoped_ declaration, declaration found?)
+        self._declared: dict[str, frozenset[str]] = {}
+        self._captures: list[Capture] = []
+        #: (class name, field) -> Instance for ``self.f = Ctor(...)``
+        self._field_instances: dict[tuple[str, str], Instance] = {}
+        #: bare global name -> Instance for module-level ``N = Ctor(...)``
+        self._globals: dict[str, Instance] = {}
+        #: id(ast.Call) -> Instance, so reference collection reuses the
+        #: identities minted during indexing instead of minting duplicates
+        self._instance_by_call: dict[int, Instance] = {}
+        #: fid -> references
+        self._refs: dict[str, list[ResourceRef]] = {}
+        #: fid -> kind -> bit(EXPLICIT/AMBIENT) -> witness; direct only
+        self._direct: dict[str, dict[str, dict[str, FlowWitness]]] = {}
+        #: same shape, propagated to fixpoint over the call graph
+        self._foot: dict[str, dict[str, dict[str, FlowWitness]]] = {}
+        for module in program.modules:
+            self._index_module(module)
+        for info in self.graph.iter_functions():
+            self._collect(info)
+        self._propagate()
+
+    # -- public API --------------------------------------------------------
+
+    def references(self, fid: str) -> list[ResourceRef]:
+        return self._refs.get(fid, [])
+
+    def captures(self) -> list[Capture]:
+        return list(self._captures)
+
+    def declared(self, cls_name: str) -> frozenset[str]:
+        """The class's ``_shard_scoped_`` declaration (empty if absent)."""
+        return self._declared.get(cls_name, frozenset())
+
+    def label(self, fid: str, kind: str) -> str | None:
+        """Transitive footprint label of ``kind`` in ``fid`` (None: absent)."""
+        bits = self._foot.get(fid, {}).get(kind)
+        if not bits:
+            return None
+        if EXPLICIT in bits and AMBIENT in bits:
+            return MIXED
+        return EXPLICIT if EXPLICIT in bits else AMBIENT
+
+    def direct_kinds(self, fid: str) -> frozenset[str]:
+        return frozenset(self._direct.get(fid, ()))
+
+    def footprint_map(self) -> dict[str, frozenset[str]]:
+        """Qualname -> directly-reached resource kinds, for the runtime
+        cross-check (runtime flow sites report dotted qualnames)."""
+        out: dict[str, set[str]] = {}
+        for fid, kinds in self._direct.items():
+            info = self.graph.lookup(fid)
+            if info is None:  # pragma: no cover - fids come from the graph
+                continue
+            out.setdefault(info.qualname, set()).update(kinds)
+        return {name: frozenset(kinds) for name, kinds in out.items()}
+
+    def flow_path(self, fid: str, kind: str,
+                  bit: str) -> list[tuple[str, int, str]]:
+        """Witness chain proving ``fid`` has the ``(kind, bit)`` footprint:
+        ``(path, line, description)`` triples down to the direct reach."""
+        steps: list[tuple[str, int, str]] = []
+        current = fid
+        guard = 0
+        while True:
+            witness = self._foot.get(current, {}).get(kind, {}).get(bit)
+            if witness is None:
+                break
+            info = self.graph.lookup(current)
+            where = info.qualname if info is not None else current
+            if witness.via is None:
+                steps.append((witness.path, witness.line,
+                              f"{where}: {witness.text}"))
+                break
+            steps.append((witness.path, witness.line,
+                          f"{where} calls {witness.via.callee.qualname}() "
+                          f"[{witness.text}]"))
+            current = witness.via.callee.fid
+            guard += 1
+            if guard > len(self._foot) + 1:  # pragma: no cover - guard
+                break
+        return steps
+
+    def render_flow(self, fid: str, kind: str) -> list[str]:
+        """Display lines for the kind's footprint (ambient bit preferred —
+        it is the one a finding needs explained)."""
+        bits = self._foot.get(fid, {}).get(kind, {})
+        bit = AMBIENT if AMBIENT in bits else EXPLICIT
+        return [f"{path}:{line}: {text}"
+                for path, line, text in self.flow_path(fid, kind, bit)]
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_module(self, module: SourceModule) -> None:
+        for stmt in module.tree.body:
+            self._index_global(module, stmt)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                self._index_class(module, node)
+
+    def _index_global(self, module: SourceModule, stmt: ast.stmt) -> None:
+        """Module-level ``NAME = ResourceClass(...)`` singleton bindings."""
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        value = stmt.value
+        if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)):
+            return
+        cls = call_name(value)
+        kind = RESOURCE_CLASSES.get(cls)
+        if kind is None:
+            return
+        instance = Instance(
+            key=f"{module.relpath}:{value.lineno}",
+            label=f"{module.relpath}::{target.id}",
+            cls=cls, kind=kind, path=module.relpath, line=value.lineno)
+        self._globals[target.id] = instance
+        self._instance_by_call[id(value)] = instance
+
+    def _index_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        declared = self._parse_declaration(node)
+        self._declared.setdefault(node.name, declared)
+        init = next((child for child in node.body
+                     if isinstance(child, ast.FunctionDef)
+                     and child.name in _CTOR_METHODS), None)
+        if init is None:
+            return
+        for stmt in ast.walk(init):
+            if module.enclosing_function(stmt) is not init:
+                continue
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ("self", "cls")):
+                    continue
+                self._index_capture(module, node, stmt, target.attr, value)
+
+    def _index_capture(self, module: SourceModule, cls: ast.ClassDef,
+                       stmt: ast.stmt, field: str, value: ast.expr) -> None:
+        if isinstance(value, ast.Call):
+            ctor = call_name(value)
+            ctor_kind = RESOURCE_CLASSES.get(ctor)
+            if ctor_kind is not None:
+                # Self-constructed: the component's own property, and the
+                # field name is the line-stable instance identity.
+                instance = Instance(
+                    key=f"{module.relpath}:{value.lineno}",
+                    label=f"{cls.name}.{field}", cls=ctor, kind=ctor_kind,
+                    path=module.relpath, line=value.lineno)
+                self._field_instances[(cls.name, field)] = instance
+                self._instance_by_call[id(value)] = instance
+                return
+        classified = self._value_kind(value)
+        if classified is None:
+            return
+        kind, text = classified
+        self._captures.append(Capture(
+            cls_name=cls.name, field=field, kind=kind, value_text=text,
+            node=stmt, module=module, cls_line=cls.lineno))
+
+    def _value_kind(self, expr: ast.expr) -> tuple[str, str] | None:
+        """Resource kind of a captured value expression, with its text."""
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in RESOURCE_CLASSES:  # pragma: no cover - handled above
+                return None
+            kind = kind_of_name(name)
+            return (kind, f"{name}(...)") if kind is not None else None
+        if isinstance(expr, ast.IfExp):
+            return self._value_kind(expr.body) or \
+                self._value_kind(expr.orelse)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                classified = self._value_kind(value)
+                if classified is not None:
+                    return classified
+            return None
+        segments = _chain_segments(expr)
+        if segments is not None:
+            kind = kind_of_name(segments[-1])
+            if kind is not None:
+                return kind, ".".join(segments)
+        return None
+
+    @staticmethod
+    def _parse_declaration(node: ast.ClassDef) -> frozenset[str]:
+        for stmt in node.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "_shard_scoped_"
+                       for t in stmt.targets):
+                continue
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                return frozenset(
+                    elt.value for elt in stmt.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str))
+        return frozenset()
+
+    # -- reference collection ----------------------------------------------
+
+    def _collect(self, info: FunctionInfo) -> None:
+        module = info.module
+        params = _param_names(info.node)
+        locals_map = self._local_chains(info)
+        refs: list[ResourceRef] = []
+        for node in ast.walk(info.node):
+            if module.enclosing_function(node) is not info.node:
+                continue
+            if isinstance(node, ast.Attribute) and \
+                    kind_of_name(node.attr) is not None:
+                segments = _chain_segments(node)
+                if segments is None:
+                    continue
+                evaluated = self._evaluate(segments, params, locals_map,
+                                           module.relpath)
+                if evaluated is None:
+                    continue
+                kind, mode, hop = evaluated
+                refs.append(ResourceRef(
+                    kind=kind, mode=mode, chain=".".join(segments), hop=hop,
+                    node=node, instance=self._instance_of(info, segments)))
+            elif isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.id in self._globals and \
+                    node.id not in params and node.id not in locals_map:
+                instance = self._globals[node.id]
+                foreign = instance.path != module.relpath
+                refs.append(ResourceRef(
+                    kind=instance.kind,
+                    mode=AMBIENT if foreign else EXPLICIT,
+                    chain=node.id, hop=node.id if foreign else None,
+                    node=node, instance=instance))
+            elif isinstance(node, ast.Call) and \
+                    call_name(node) in RESOURCE_CLASSES:
+                refs.append(self._ctor_ref(info, node))
+        # Resource-kind parameters are part of the footprint even when the
+        # body only forwards them (run_query's ``stats``).
+        for name in params:
+            kind = kind_of_name(name)
+            if kind is not None:
+                refs.append(ResourceRef(
+                    kind=kind, mode=EXPLICIT, chain=name, hop=None,
+                    node=info.node))
+        self._refs[info.fid] = refs
+        direct: dict[str, dict[str, FlowWitness]] = {}
+        for ref in refs:
+            line = getattr(ref.node, "lineno", info.line)
+            direct.setdefault(ref.kind, {}).setdefault(
+                ref.mode, FlowWitness(
+                    info.path, line,
+                    f"reaches {ref.kind} via '{ref.chain}' ({ref.mode})"))
+        self._direct[info.fid] = direct
+
+    def _ctor_ref(self, info: FunctionInfo, node: ast.Call) -> ResourceRef:
+        instance = self._instance_by_call.get(id(node))
+        if instance is None:
+            cls = call_name(node)
+            # Inline construction with no field/global binding: identity by
+            # source order within the function, stable under line shifts.
+            ordinal = 1 + sum(
+                1 for existing in self._instance_by_call.values()
+                if existing.cls == cls
+                and existing.label.startswith(f"{info.qualname}~"))
+            instance = Instance(
+                key=f"{info.path}:{node.lineno}",
+                label=f"{info.qualname}~{cls}#{ordinal}",
+                cls=cls, kind=RESOURCE_CLASSES[cls],
+                path=info.path, line=node.lineno)
+            self._instance_by_call[id(node)] = instance
+        return ResourceRef(kind=instance.kind, mode=EXPLICIT,
+                           chain=f"{instance.cls}(...)", hop=None,
+                           node=node, instance=instance)
+
+    def _instance_of(self, info: FunctionInfo,
+                     segments: list[str]) -> Instance | None:
+        if len(segments) == 2 and segments[0] in ("self", "cls") and \
+                info.cls is not None:
+            return self._field_instances.get((info.cls, segments[1]))
+        if len(segments) == 1:
+            return self._globals.get(segments[0])
+        return None
+
+    def _local_chains(self, info: FunctionInfo) -> dict[str, list[str] | None]:
+        """``name -> chain`` for simple local aliases (``pool =
+        context.pool``); ``None`` marks a name with any opaque binding."""
+        out: dict[str, list[str] | None] = {}
+        for node in ast.walk(info.node):
+            if info.module.enclosing_function(node) is not info.node:
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                    isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                chain = _chain_segments(node.value)
+                if name in out and out[name] != chain:
+                    out[name] = None  # conflicting rebind: opaque
+                else:
+                    out[name] = chain
+            else:
+                # Any other binding form (for targets, with-as, augmented
+                # or tuple assignment) makes the name opaque.
+                for target in _bound_names(node):
+                    out[target] = None
+        return out
+
+    def _evaluate(self, segments: list[str], params: set[str],
+                  locals_map: dict[str, list[str] | None],
+                  relpath: str) -> tuple[str, str, str | None] | None:
+        """Mode of one chain: ``(kind, EXPLICIT/AMBIENT, ambient hop)``.
+
+        None means the chain's root is opaque — conservatively silent.
+        """
+        for _ in range(8):  # bounded alias expansion
+            expansion = locals_map.get(segments[0], ())
+            if expansion == ():
+                break
+            if expansion is None:
+                return None  # opaque local
+            if expansion[0] == segments[0]:
+                break  # self-referential rebind (x = x.pool)
+            segments = list(expansion) + segments[1:]
+        kind = kind_of_name(segments[-1])
+        if kind is None:  # pragma: no cover - callers pre-filter
+            return None
+        root, hops = segments[0], segments[1:]
+        seen_resource = False
+        ambient_hop: str | None = None
+        if root in ("self", "cls"):
+            pass  # own fields: judged hop by hop below
+        elif kind_of_name(root) is not None:
+            seen_resource = True  # resource-named root: explicit handle
+        elif root in CONTEXT_NAMES:
+            pass  # capability bundle: its members are explicit
+        elif root in params:
+            ambient_hop = root  # reaching through a component parameter
+        elif root in self._globals:
+            seen_resource = True
+            if self._globals[root].path != relpath:
+                ambient_hop = root  # foreign module-level singleton
+        else:
+            return None  # unknown root (opaque local, import alias...)
+        for segment in hops:
+            if seen_resource:
+                break  # inside an explicit resource: its own internals
+            if kind_of_name(segment) is not None:
+                seen_resource = True
+            elif segment in CONTEXT_NAMES:
+                continue
+            elif ambient_hop is None:
+                ambient_hop = segment  # component hop before any resource
+        mode = AMBIENT if ambient_hop is not None else EXPLICIT
+        return kind, mode, ambient_hop
+
+    # -- footprint propagation ---------------------------------------------
+
+    def _propagate(self) -> None:
+        for fid, direct in self._direct.items():
+            self._foot[fid] = {kind: dict(bits)
+                               for kind, bits in direct.items()}
+        pending = list(self._foot)
+        queued = set(pending)
+        while pending:
+            fid = pending.pop()
+            queued.discard(fid)
+            if self._fold_callees(fid):
+                for site in self.graph.callers_of.get(fid, ()):
+                    caller = site.caller.fid
+                    if caller not in queued:
+                        queued.add(caller)
+                        pending.append(caller)
+
+    def _fold_callees(self, fid: str) -> bool:
+        summary = self._foot.setdefault(fid, {})
+        changed = False
+        for site in self.graph.callees_of.get(fid, ()):
+            callee = self._foot.get(site.callee.fid, {})
+            for kind, bits in callee.items():
+                mine = summary.setdefault(kind, {})
+                for bit in bits:
+                    if bit not in mine:
+                        mine[bit] = FlowWitness(
+                            site.caller.path, site.line, site.text, via=site)
+                        changed = True
+        return changed
+
+
+def _bound_names(node: ast.AST) -> Iterator[str]:
+    """Names bound by non-alias binding forms (loops, with-as, tuples...)."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign) and (
+            len(node.targets) != 1
+            or not isinstance(node.targets[0], ast.Name)):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        targets = [node.target]
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        targets = [item.optional_vars for item in node.items
+                   if item.optional_vars is not None]
+    for target in targets:
+        for inner in ast.walk(target):
+            # Only Store-context names are bound: in ``self.x[k] = v`` the
+            # target names ``self`` and ``k`` are loads, not bindings.
+            if isinstance(inner, ast.Name) and \
+                    isinstance(inner.ctx, ast.Store):
+                yield inner.id
+
+
+class ResourceFlowChecker(Checker):
+    """SHARD001-004: every resource reach is shard-explicit."""
+
+    name = "resource-flow"
+    codes = ("SHARD001", "SHARD002", "SHARD003", "SHARD004")
+    description = ("poolable resources (pool/log/locks/catalog/stats) are "
+                   "reached through declared captures, parameters or a "
+                   "ShardContext — never ambiently through another "
+                   "component or a module global")
+    code_descriptions = {
+        "SHARD001": "ambient reach of an engine singleton outside any "
+                    "context (cross-component chain or foreign global)",
+        "SHARD002": "one function mixes same-class resource instances from "
+                    "two construction sites with no context parameter",
+        "SHARD003": "constructor captures a resource into a field missing "
+                    "from the class's _shard_scoped_ declaration",
+        "SHARD004": "WAL write and page flush in one function fed by "
+                    "resources with differing footprint labels",
+    }
+
+    def begin(self, program: Program) -> None:
+        self._program = program
+
+    def finish(self) -> Iterable[Finding]:
+        analysis = ResourceFlowAnalysis(self._program)
+        findings: list[Finding] = []
+        findings.extend(self._shard001(analysis))
+        findings.extend(self._shard002(analysis))
+        findings.extend(self._shard003(analysis))
+        findings.extend(self._shard004(analysis))
+        return findings
+
+    # -- SHARD001 ----------------------------------------------------------
+
+    def _shard001(self, analysis: ResourceFlowAnalysis) -> Iterator[Finding]:
+        for info in analysis.graph.iter_functions():
+            if diagnostic_plane(info.path) or info.name in _CTOR_METHODS:
+                continue
+            reported: set[str] = set()
+            for ref in analysis.references(info.fid):
+                if ref.mode != AMBIENT or ref.kind not in SINGLETON_KINDS:
+                    continue
+                detail = f"{ref.kind}:{ref.chain}"
+                if detail in reported:
+                    continue
+                reported.add(detail)
+                line = getattr(ref.node, "lineno", info.line)
+                yield info.module.finding(
+                    "SHARD001", self.name, ref.node,
+                    f"{info.qualname} reaches the engine {ref.kind} "
+                    f"ambiently through '{ref.chain}' — pass the resource "
+                    f"(or a ShardContext) in, or capture it at "
+                    f"construction under _shard_scoped_",
+                    detail=detail,
+                    scope=info.qualname,
+                    call_path=(
+                        f"{info.path}:{line}: {info.qualname} reaches "
+                        f"{ref.kind} via '{ref.chain}'",
+                        f"{info.path}:{line}: hop '{ref.hop}' crosses a "
+                        f"component boundary before any resource or "
+                        f"context — the reach is ambient",
+                    ))
+
+    # -- SHARD002 ----------------------------------------------------------
+
+    def _shard002(self, analysis: ResourceFlowAnalysis) -> Iterator[Finding]:
+        for info in analysis.graph.iter_functions():
+            if diagnostic_plane(info.path):
+                continue
+            if _param_names(info.node) & CONTEXT_NAMES:
+                continue  # the context parameter names which shard is meant
+            by_class: dict[str, dict[str, tuple[Instance, ast.AST]]] = {}
+            for ref in analysis.references(info.fid):
+                if ref.instance is None:
+                    continue
+                by_class.setdefault(ref.instance.cls, {}).setdefault(
+                    ref.instance.key, (ref.instance, ref.node))
+            for cls, instances in sorted(by_class.items()):
+                if len(instances) < 2:
+                    continue
+                pairs = sorted(instances.values(),
+                               key=lambda pair: pair[0].label)
+                labels = "+".join(inst.label for inst, _ in pairs)
+                kind = pairs[0][0].kind
+                first_node = min((node for _, node in pairs),
+                                 key=lambda n: getattr(n, "lineno", 0))
+                yield info.module.finding(
+                    "SHARD002", self.name, first_node,
+                    f"{info.qualname} mixes {len(pairs)} distinct {cls} "
+                    f"instances ({labels}) with no context parameter — "
+                    f"it cannot say which shard's {kind} it means",
+                    detail=f"{kind}:{labels}",
+                    scope=info.qualname,
+                    call_path=tuple(
+                        f"{inst.path}:{inst.line}: instance '{inst.label}' "
+                        f"({inst.cls}) constructed here"
+                        for inst, _ in pairs))
+
+    # -- SHARD003 ----------------------------------------------------------
+
+    def _shard003(self, analysis: ResourceFlowAnalysis) -> Iterator[Finding]:
+        for capture in analysis.captures():
+            if diagnostic_plane(capture.module.relpath):
+                continue
+            declared = analysis.declared(capture.cls_name)
+            if capture.field in declared:
+                continue
+            declared_text = ", ".join(sorted(declared)) if declared \
+                else "(no declaration)"
+            yield capture.module.finding(
+                "SHARD003", self.name, capture.node,
+                f"{capture.cls_name}.__init__ captures a {capture.kind} "
+                f"into self.{capture.field} (from {capture.value_text!r}) "
+                f"without declaring it in _shard_scoped_ — add the field "
+                f"to the declaration or stop holding the resource",
+                detail=f"{capture.cls_name}.{capture.field}",
+                call_path=(
+                    f"{capture.module.relpath}:{capture.node.lineno}: "
+                    f"self.{capture.field} = {capture.value_text} captures "
+                    f"a long-lived {capture.kind} handle",
+                    f"{capture.module.relpath}:{capture.cls_line}: "
+                    f"{capture.cls_name} declares _shard_scoped_ = "
+                    f"{declared_text} — '{capture.field}' is not in it",
+                ))
+
+    # -- SHARD004 ----------------------------------------------------------
+
+    def _shard004(self, analysis: ResourceFlowAnalysis) -> Iterator[Finding]:
+        effects = self._program.effects()
+        for info in analysis.graph.iter_functions():
+            if diagnostic_plane(info.path):
+                continue
+            if not (effects.has(info.fid, fx.WRITES_WAL)
+                    and effects.has(info.fid, fx.FLUSHES)):
+                continue
+            log_label = analysis.label(info.fid, "log")
+            pool_label = analysis.label(info.fid, "pool")
+            if log_label is None or pool_label is None or \
+                    log_label == pool_label:
+                continue
+            yield info.module.finding(
+                "SHARD004", self.name, info.node,
+                f"{info.qualname} pairs a WAL write with a page flush but "
+                f"its log footprint is {log_label} while its pool "
+                f"footprint is {pool_label} — under sharding this couples "
+                f"one shard's log with another's pages",
+                detail=f"log={log_label},pool={pool_label}",
+                scope=info.qualname,
+                call_path=tuple(
+                    [f"-- log footprint ({log_label}):"]
+                    + analysis.render_flow(info.fid, "log")
+                    + [f"-- pool footprint ({pool_label}):"]
+                    + analysis.render_flow(info.fid, "pool")
+                    + ["-- WAL write:"]
+                    + effects.render_path(info.fid, fx.WRITES_WAL)
+                    + ["-- page flush:"]
+                    + effects.render_path(info.fid, fx.FLUSHES)))
+
+
+def footprint_map(paths: Iterable[Path],
+                  root: Path | None = None) -> dict[str, frozenset[str]]:
+    """Parse ``paths`` and return the qualname -> kinds footprint map.
+
+    Convenience entry point for the runtime cross-check
+    (:func:`repro.analyze.sanitize.cross_check_resource_footprints`).
+    """
+    program = Program()
+    root = root if root is not None else Path.cwd()
+    for path in iter_python_files(paths):
+        try:
+            program.add(SourceModule(path, root))
+        except (SyntaxError, UnicodeDecodeError, OSError):
+            continue
+    return ResourceFlowAnalysis(program).footprint_map()

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export for ``python -m repro.analyze --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+code-scanning UIs ingest.  The export is deliberately minimal-but-valid:
+one run, one tool driver named ``repro.analyze``, rule metadata taken from
+the same checker ``codes``/``code_descriptions`` tables that feed
+``--list-checkers``, and every result carrying the finding's
+line-independent baseline fingerprint as a ``partialFingerprints`` entry
+(key ``repro/v1``) so scanning UIs track findings across unrelated edits
+exactly like the suppression baseline does.  Baselined findings are
+emitted with a ``suppressions`` entry (kind ``external``) whose
+justification is the baseline's documented reason, instead of being
+dropped — the SARIF consumer sees the full picture.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import Checker
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+#: partialFingerprints key carrying the baseline fingerprint.
+FINGERPRINT_KEY = "repro/v1"
+
+
+def rules_from_checkers(checkers: Iterable[Checker]) -> list[dict[str, object]]:
+    """One SARIF ``reportingDescriptor`` per finding code, from the same
+    metadata ``--list-checkers`` prints."""
+    rules: list[dict[str, object]] = []
+    for checker in checkers:
+        for code in checker.codes:
+            about = checker.code_descriptions.get(code, "")
+            rules.append({
+                "id": code,
+                "name": code,
+                "shortDescription": {"text": about or checker.description},
+                "fullDescription": {"text": checker.description},
+                "defaultConfiguration": {"level": "error"},
+                "properties": {"checker": checker.name},
+            })
+    return rules
+
+
+def _result(finding: Finding,
+            suppressed: bool, justification: str) -> dict[str, object]:
+    location: dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path,
+                                 "uriBaseId": "SRCROOT"},
+            "region": {"startLine": max(1, finding.line),
+                       "startColumn": finding.column + 1},
+        },
+    }
+    if finding.scope:
+        location["logicalLocations"] = [
+            {"fullyQualifiedName": finding.scope}]
+    result: dict[str, object] = {
+        "ruleId": finding.code,
+        "level": "error" if finding.severity is Severity.ERROR
+                 else "warning",
+        "message": {"text": finding.message},
+        "locations": [location],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if finding.call_path:
+        result["properties"] = {"callPath": list(finding.call_path)}
+    if finding.related:
+        result["relatedLocations"] = [
+            {"physicalLocation": {
+                "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+                "region": {"startLine": max(1, line)}}}
+            for path, line in finding.related]
+    if suppressed:
+        suppression: dict[str, object] = {"kind": "external"}
+        if justification:
+            suppression["justification"] = justification
+        result["suppressions"] = [suppression]
+    return result
+
+
+def to_sarif(checkers: Iterable[Checker],
+             new: Sequence[Finding],
+             baselined: Sequence[Finding] = (),
+             parse_errors: Sequence[str] = (),
+             justifications: Mapping[str, str] | None = None
+             ) -> dict[str, object]:
+    """The complete SARIF log for one analyzer run.
+
+    ``justifications`` maps baseline fingerprints to their documented
+    reasons (shown as the suppression justification).
+    """
+    justifications = justifications or {}
+    results = [_result(finding, suppressed=False, justification="")
+               for finding in new]
+    results += [_result(finding, suppressed=True,
+                        justification=justifications.get(
+                            finding.fingerprint, ""))
+                for finding in baselined]
+    invocation: dict[str, object] = {
+        "executionSuccessful": True,
+    }
+    if parse_errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": text}}
+            for text in parse_errors]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.analyze",
+                "informationUri":
+                    "https://example.invalid/repro/analyze",
+                "rules": rules_from_checkers(checkers),
+            }},
+            "invocations": [invocation],
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///./"}},
+            "results": results,
+        }],
+    }

@@ -30,6 +30,18 @@ garbage.  Three invariants keep the namespace sound:
   class; timing it again here would double-count every yielded wait.
   ``Event.wait``/``queue.get`` coordination waits are out of scope by
   documented choice: they park worker threads, not units of work.
+* **STAT005** — registry drift, the converse of STAT002/003/004: an entry
+  in ``METRICS``/``HISTOGRAMS``/``WAITS`` that *no* source site ever
+  charges or observes is a dead metric — a renamed counter whose registry
+  entry was left behind, or a planned metric that never landed.  Either
+  way dashboards comparing it read zeros forever.  Aliveness is counted
+  over literal charge sites on *any* receiver (``self.observe`` inside
+  the registry class counts), plus two documented derivations: every
+  ``trip(stats, "<name>", ...)`` call keeps ``sanitize.<name>`` alive,
+  and every used wait class keeps its ``wait_counter()``-derived
+  ``waits.<class>_us`` counter alive.  Reads (``get``/``gauge``/
+  ``histogram``) deliberately do not count — observing a dead metric is
+  how it stays unnoticed.
 """
 
 from __future__ import annotations
@@ -97,21 +109,36 @@ class StatsHygieneChecker(Checker):
     """STAT001-004: metric naming, registration, and wait discipline."""
 
     name = "stats-hygiene"
-    codes = ("STAT001", "STAT002", "STAT003", "STAT004")
+    codes = ("STAT001", "STAT002", "STAT003", "STAT004", "STAT005")
     description = ("counter/gauge/histogram names follow component.metric "
                    "and are registered in repro.core.stats METRICS / "
-                   "HISTOGRAMS; wait classes are registered in WAITS and "
-                   "every blocking sleep is charged to one")
+                   "HISTOGRAMS; wait classes are registered in WAITS, "
+                   "every blocking sleep is charged to one, and no "
+                   "registry entry is dead")
+    code_descriptions = {
+        "STAT001": "metric name violates the component.metric convention",
+        "STAT002": "counter/gauge name not registered in METRICS",
+        "STAT003": "histogram name not registered in HISTOGRAMS",
+        "STAT004": "wait class not registered in WAITS, or a blocking "
+                   "sleep outside any wait_timer",
+        "STAT005": "registry entry (METRICS/HISTOGRAMS/WAITS) that no "
+                   "source site ever charges or observes (dead metric)",
+    }
 
     def __init__(self) -> None:
-        self.registry: set[str] | None = None
-        self.histogram_registry: set[str] | None = None
-        self.wait_registry: set[str] | None = None
+        self.registry: dict[str, int] | None = None
+        self.histogram_registry: dict[str, int] | None = None
+        self.wait_registry: dict[str, int] | None = None
+        self._registry_path: str | None = None
         #: (module, call node info) of registered-method uses, checked in
         #: finish() once the registry module has been seen.
         self._uses: list[tuple[str, int, int, str, str]] = []
         self._observe_uses: list[tuple[str, int, int, str, str]] = []
         self._wait_uses: list[tuple[str, int, int, str, str]] = []
+        #: literal names charged anywhere (any receiver): STAT005 aliveness
+        self._alive_metrics: set[str] = set()
+        self._alive_histograms: set[str] = set()
+        self._alive_waits: set[str] = set()
 
     def check_module(self, module: SourceModule) -> Iterator[Finding]:
         if module.relpath.endswith("core/stats.py"):
@@ -119,6 +146,8 @@ class StatsHygieneChecker(Checker):
             self.histogram_registry = _extract_registry(module.tree,
                                                         "HISTOGRAMS")
             self.wait_registry = _extract_registry(module.tree, "WAITS")
+            self._registry_path = module.relpath
+        self._collect_aliveness(module)
         for call in module.calls():
             method = call_name(call)
             if method not in _REGISTERED_METHODS and \
@@ -157,6 +186,35 @@ class StatsHygieneChecker(Checker):
                     (module.relpath, call.lineno, call.col_offset,
                      module.scope_of(call), metric))
         yield from self._check_sleep_discipline(module)
+
+    def _collect_aliveness(self, module: SourceModule) -> None:
+        """STAT005 evidence: literal names charged through any receiver.
+
+        Deliberately looser than the registration checks (no stats-receiver
+        test): over-approximating aliveness can only silence a dead-metric
+        report, never invent one.
+        """
+        for call in module.calls():
+            method = call_name(call)
+            if method == "trip" and len(call.args) >= 2:
+                arg = call.args[1]
+                if isinstance(arg, ast.Constant) and \
+                        isinstance(arg.value, str):
+                    # trip(stats, name, ...) charges "sanitize.<name>".
+                    self._alive_metrics.add(f"sanitize.{arg.value}")
+                continue
+            if not call.args:
+                continue
+            arg = call.args[0]
+            if not (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)):
+                continue
+            if method in _REGISTERED_METHODS:
+                self._alive_metrics.add(arg.value)
+            elif method in _HISTOGRAM_METHODS:
+                self._alive_histograms.add(arg.value)
+            elif method in _WAIT_METHODS:
+                self._alive_waits.add(arg.value)
 
     def _check_sleep_discipline(self, module: SourceModule
                                 ) -> Iterator[Finding]:
@@ -216,11 +274,41 @@ class StatsHygieneChecker(Checker):
                     message=(f"histogram {metric!r} is not registered in "
                              f"repro.core.stats.HISTOGRAMS — register it "
                              f"once there (or fix the typo)"))
+        yield from self._check_registry_drift()
+
+    def _check_registry_drift(self) -> Iterator[Finding]:
+        """STAT005: registry entries no source site ever charges."""
+        if self._registry_path is None:
+            return
+        # Every used wait class keeps its derived microsecond counter
+        # alive (wait_counter(): "waits." + class.replace(".", "_") + "_us").
+        derived = {"waits." + cls.replace(".", "_") + "_us"
+                   for cls in self._alive_waits}
+        drift: list[tuple[str, str, int]] = []
+        for metric, line in (self.registry or {}).items():
+            if metric not in self._alive_metrics and metric not in derived:
+                drift.append(("METRICS", metric, line))
+        for metric, line in (self.histogram_registry or {}).items():
+            if metric not in self._alive_histograms:
+                drift.append(("HISTOGRAMS", metric, line))
+        for wait_class, line in (self.wait_registry or {}).items():
+            if wait_class not in self._alive_waits:
+                drift.append(("WAITS", wait_class, line))
+        for binding, metric, line in sorted(drift):
+            yield Finding(
+                code="STAT005", checker=self.name,
+                path=self._registry_path, line=line, column=0,
+                scope=binding, detail=metric,
+                message=(f"{binding} entry {metric!r} is never charged or "
+                         f"observed by any analyzed source site — a dead "
+                         f"metric reads zero forever; delete the entry or "
+                         f"wire up the charge site"))
 
 
-def _extract_registry(tree: ast.Module, binding: str) -> set[str]:
-    """Literal string members of a ``<binding> = frozenset({...})`` binding."""
-    names: set[str] = set()
+def _extract_registry(tree: ast.Module, binding: str) -> dict[str, int]:
+    """Literal string members of a ``<binding> = frozenset({...})``
+    binding, mapped to their source line (for STAT005 reports)."""
+    names: dict[str, int] = {}
     for node in ast.walk(tree):
         target_names = []
         if isinstance(node, ast.Assign):
@@ -238,5 +326,5 @@ def _extract_registry(tree: ast.Module, binding: str) -> set[str]:
         for constant in ast.walk(value):
             if isinstance(constant, ast.Constant) and \
                     isinstance(constant.value, str):
-                names.add(constant.value)
+                names.setdefault(constant.value, constant.lineno)
     return names

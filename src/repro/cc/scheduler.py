@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
 from repro.analyze import sanitize as _sanitize
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import TransactionError
 from repro.rdb.txn import AccountingLog, AccountingRecord
 
@@ -108,6 +108,10 @@ class Scheduler:
     timeout victim.
     """
 
+    #: Declared resource captures (SHARD003): the scheduler drives one
+    #: lock backend and charges one stats sink for its whole run.
+    _shard_scoped_ = ("locks", "stats")
+
     def __init__(self, locks: LockBackend, seed: int = 0,
                  max_steps: int = 100_000,
                  wait_budget: int | None = None,
@@ -124,7 +128,7 @@ class Scheduler:
         self.backoff_cap = max(1, backoff_cap)
         self.max_restarts = max_restarts
         self.stats = stats if stats is not None else \
-            getattr(locks, "stats", None) or GLOBAL_STATS
+            default_stats(getattr(locks, "stats", None))
         #: Accounting-trace ring: one record per finished program.  Pass a
         #: :class:`TransactionManager`'s log to merge scheduler programs
         #: into the same accounting stream as interactive transactions.

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.rdb.locks import LockMode, mode_compatible, mode_lub
 from repro.xdm.nodeid import is_ancestor_or_self
 
@@ -45,8 +45,12 @@ class PrefixLockTable:
     ``(docid, node_id)`` pairs.
     """
 
+    #: Declared resource capture (SHARD003): the lock table's stats
+    #: sink may be supplied by its owner.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, stats: StatsRegistry | None = None) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self._granted: dict[int, dict[tuple[int, bytes], LockMode]] = \
             defaultdict(dict)  # txn -> {(docid, node): mode}
         self._waits_for: dict[int, set[int]] = defaultdict(set)

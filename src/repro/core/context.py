@@ -1,0 +1,91 @@
+"""Shard context: the explicit capability bundle engine components run in.
+
+ROADMAP item 2 (partitioned tablespaces + scatter-gather) requires that
+engine components take their singleton resources — buffer pool, WAL, lock
+manager, catalog, stats sink — from an *explicit* context instead of
+reaching for ambient globals or cross-component field chains.  This is how
+DB2 for z/OS data sharing (the paper's substrate, §2) isolates members: each
+member runs against its own buffer pools and log, and only deliberately
+shared structures (the group buffer pool, the coupling facility lock
+structure) cross the member boundary.
+
+:class:`ShardContext` is that bundle.  Today there is exactly one shard:
+``Database`` builds ``ShardContext(shard_id=0, ...)`` over its existing
+singletons and threads it into the storage tranche (table spaces, B+trees,
+XML stores, checkpointer trickle).  A sharding PR later constructs N
+contexts over N pools/logs and the components do not change.
+
+The static side of the contract lives in ``repro.analyze.resources``
+(SHARD001–004: ambient reach, instance mixing, undeclared captures,
+split-footprint durability).  The dynamic side lives in
+``repro.analyze.sanitize``: every resource bundled into a context is
+stamped with the context's ``shard_id`` at construction, components
+constructed *with* a context inherit the stamp of the pool they are given,
+and ``check_shard_mix`` trips ``sanitize.shard.mix`` the moment one
+operation combines resources stamped for different shards.
+
+Components receiving a context may capture it (``self.context = context``)
+— capturing the *bundle* is the sanctioned pattern; capturing a loose
+resource requires a ``_shard_scoped_`` declaration (see SHARD003).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analyze import sanitize as _sanitize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.stats import StatsRegistry
+    from repro.rdb.buffer import BufferPool
+    from repro.rdb.catalog import Catalog, NameTable
+    from repro.rdb.locks import LockManager
+    from repro.rdb.tablespace import TableSpace
+    from repro.rdb.wal import LogManager
+
+
+@dataclass(frozen=True, eq=False)
+class ShardContext:
+    """Frozen capability bundle for one shard.
+
+    ``tablespaces`` and ``indexes`` are the shard's component registries:
+    storage components constructed with this context register themselves,
+    giving the shard an auditable inventory of everything that holds its
+    pages (the per-member "what do I own" view a data-sharing member needs
+    for castout and recovery).  The registries are mutable dictionaries
+    inside a frozen shell on purpose: the *capabilities* never change after
+    construction, the *inventory* grows as DDL runs.
+    """
+
+    shard_id: int
+    pool: BufferPool
+    log: LogManager
+    locks: LockManager
+    catalog: Catalog
+    stats: StatsRegistry
+    tablespaces: dict[str, TableSpace] = field(default_factory=dict)
+    indexes: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for resource in (self.pool, self.log, self.locks, self.catalog,
+                         self.stats):
+            _sanitize.stamp_shard(resource, self.shard_id)
+
+    @property
+    def names(self) -> NameTable:
+        """The shard's element/attribute name table (lives in the catalog)."""
+        return self.catalog.names
+
+    def register_tablespace(self, space: TableSpace) -> None:
+        """Record ``space`` in this shard's tablespace inventory."""
+        self.tablespaces[space.name] = space
+
+    def register_index(self, name: str, index: object) -> None:
+        """Record an index manager in this shard's index inventory."""
+        self.indexes[name] = index
+
+    def __repr__(self) -> str:
+        return (f"ShardContext(shard_id={self.shard_id}, "
+                f"tablespaces={len(self.tablespaces)}, "
+                f"indexes={len(self.indexes)})")

@@ -29,6 +29,8 @@ class Deadline:
 
     __slots__ = ("expires_at",)
 
+    expires_at: float
+
     def __init__(self, expires_at: float) -> None:
         self.expires_at = expires_at
 

@@ -13,7 +13,7 @@ import threading
 import time
 from collections import Counter
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.analyze import sanitize as _sanitize
 
@@ -70,6 +70,7 @@ METRICS: frozenset[str] = frozenset({
     "sanitize.lock_order", "sanitize.lsn_regression",
     "sanitize.active_txns_at_close", "sanitize.accounting_overcharge",
     "sanitize.race.lockset", "sanitize.waits.reconcile",
+    "sanitize.shard.mix",
     # wait-state accounting (DB2 class-3 suspension analogue): microseconds
     # suspended per wait class.  Derived from :data:`WAITS` via
     # :func:`wait_counter`; both sides are listed so the registries stay
@@ -219,7 +220,7 @@ class Histogram:
                 return bound
         return self.max  # pragma: no cover - cumulative covers count
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-safe rendering (exporters and artifacts)."""
         return {
             "count": self.count,
@@ -301,11 +302,12 @@ class StatsRegistry:
         self._gauges: dict[str, int] = {}
         self._histograms: dict[str, Histogram] = {}
         #: Installed tracer (see :class:`repro.obs.tracer.Tracer`), or None.
-        self.tracer = None
+        #: Duck-typed (``Any``) so the substrate never imports ``repro.obs``.
+        self.tracer: Any = None
         #: Installed structured event trace
         #: (see :class:`repro.obs.events.EventTrace`), or None.  Duck-typed
         #: like the tracer so the substrate never imports ``repro.obs``.
-        self.events = None
+        self.events: Any = None
         #: Name-striped locks guarding the shared maps above.
         self._locks = [threading.Lock() for _ in range(self._STRIPES)]
         #: Per-thread innermost accounting sink — see :meth:`charge`.
@@ -429,7 +431,7 @@ class StatsRegistry:
 
     # -- tracing hooks ----------------------------------------------------
 
-    def trace(self, name: str, **attrs):
+    def trace(self, name: str, **attrs: object) -> Any:
         """A span context manager if a tracer is installed, else a no-op.
 
         The block receives the open :class:`~repro.obs.tracer.Span` (or
@@ -445,7 +447,7 @@ class StatsRegistry:
             return _NULL_TRACE
         return tracer.span(name, **attrs)
 
-    def trace_event(self, name: str, **attrs) -> None:
+    def trace_event(self, name: str, **attrs: object) -> None:
         """Record a point event on the installed tracer, if any."""
         tracer = self.tracer
         if tracer is not None:
@@ -602,3 +604,18 @@ _NULL_TRACE = _NullTrace()
 
 #: Registry used by components that are not handed an explicit one.
 GLOBAL_STATS = StatsRegistry()
+
+
+def default_stats(stats: StatsRegistry | None = None) -> StatsRegistry:
+    """Resolve an optional stats argument to a concrete registry.
+
+    This is the **single sanctioned fallback** to :data:`GLOBAL_STATS`:
+    constructors that accept ``stats=None`` call this instead of reading
+    the module global themselves, so the resource-flow analysis
+    (``repro.analyze.resources``, SHARD001) sees exactly one ambient reach
+    to the process-wide registry — here, in its defining module — rather
+    than one per component.  Components inside a shard should be handed
+    ``ShardContext.stats`` explicitly; the global is for scaffolding,
+    tests, and pre-context construction order.
+    """
+    return stats if stats is not None else GLOBAL_STATS

@@ -39,7 +39,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import FaultInjectionError
 
 
@@ -142,11 +142,15 @@ class FaultInjector:
     matter which component issued it.
     """
 
+    #: Declared resource capture (SHARD003): fault counters report to
+    #: whichever registry the harness supplies.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, plan: Iterable[FaultSpec] = (), seed: int = 0,
                  stats: StatsRegistry | None = None) -> None:
         self.plan = list(plan)
         self.rng = random.Random(seed)
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self.writes_seen = 0
         self.reads_seen = 0
         self.point_hits: Counter[str] = Counter()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import NodeIdError, PlanningError, StorageError, XmlError
 from repro.lang import ast
 from repro.xdm import nodeid
@@ -38,10 +38,14 @@ class QueryMatch:
 class Executor:
     """Executes access plans against one XML store."""
 
+    #: Declared resource capture (SHARD003): the executor charges the
+    #: stats sink it was handed for the life of the plan run.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, store: XmlStore,
                  stats: StatsRegistry | None = None) -> None:
         self.store = store
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
 
     def execute(self, plan: AccessPlan) -> list[QueryMatch]:
         with self.stats.trace("exec.compile"):

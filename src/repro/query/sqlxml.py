@@ -582,8 +582,15 @@ def parse_statement(text: str) -> Statement:
 class SqlSession:
     """Statement executor bound to one :class:`Database`."""
 
+    #: Declared resource captures (SHARD003): the session resolves table
+    #: definitions against its database's catalog and charges its stats
+    #: sink for its whole life.
+    _shard_scoped_ = ("catalog", "stats")
+
     def __init__(self, db: Database) -> None:
         self.db = db
+        self.catalog = db.catalog
+        self.stats = db.stats
 
     def execute(self, text: str) -> list[dict]:
         """Run one statement; SELECTs return rows as dicts."""
@@ -613,7 +620,7 @@ class SqlSession:
     # -- row source ----------------------------------------------------------------
 
     def _rows(self, table: str) -> Iterator[tuple[object, dict]]:
-        definition = self.db.catalog.table(table)
+        definition = self.catalog.table(table)
         names = [c.name for c in definition.columns]
         for rid, row in self.db.tables[table].scan_rids():
             yield rid, dict(zip(names, row, strict=True))
@@ -664,7 +671,7 @@ class SqlSession:
                 matches = self.db.xpath(statement.table, condition.column,
                                         condition.xpath)
                 qualifying = {m.docid for m in matches}
-                definition = self.db.catalog.table(statement.table)
+                definition = self.catalog.table(statement.table)
                 names = [c.name for c in definition.columns]
                 return [dict(zip(names, row, strict=True))
                         for _rid, row in
@@ -755,7 +762,7 @@ class SqlSession:
         if events is None:
             return None
         items = xscan_evaluate(expression.xpath, events,
-                               stats=self.db.stats)
+                               stats=self.stats)
         store = self.db.xml_stores[(table, expression.column)]
         docid = row[expression.column]
         parts = []
@@ -781,7 +788,7 @@ class SqlSession:
             if events is None:
                 return False
             return bool(xscan_evaluate(condition.xpath, events,
-                                       stats=self.db.stats,
+                                       stats=self.stats,
                                        collect_result_values=False))
         if isinstance(condition, Comparison):
             left = self._scalar(condition.left, table, row)

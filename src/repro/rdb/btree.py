@@ -18,11 +18,15 @@ simplification; lookups and scans are unaffected.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
+from repro.analyze import sanitize as _sanitize
 from repro.errors import DuplicateKeyError, IndexError_
 from repro.rdb import codec
 from repro.rdb.buffer import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import ShardContext
 
 _LEAF = 0
 _INTERNAL = 1
@@ -113,11 +117,21 @@ class BTree:
     and NodeID indexes enforce their invariants.
     """
 
+    #: Declared resource captures (SHARD003): an index manager lives on
+    #: the buffer pool it was built over, and charges that pool's stats
+    #: sink — both shard-scoped with the tree itself.
+    _shard_scoped_ = ("pool", "stats")
+
     def __init__(self, pool: BufferPool, name: str = "ix", unique: bool = False,
-                 order_bytes: int | None = None) -> None:
+                 order_bytes: int | None = None,
+                 context: "ShardContext | None" = None) -> None:
         self.pool = pool
         self.name = name
         self.unique = unique
+        self.context = context
+        _sanitize.inherit_shard(self, pool)
+        if context is not None:
+            context.register_index(name, self)
         self.order_bytes = order_bytes or max(pool.page_size - 512, 512)
         if self.order_bytes > pool.page_size - 16:
             self.order_bytes = pool.page_size - 16

@@ -18,7 +18,7 @@ import enum
 import threading
 
 from repro.analyze import sanitize as _sanitize
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 
 
 class LockMode(enum.IntEnum):
@@ -128,9 +128,13 @@ class LockManager:
     manager accepts, and engine entries still run under the engine latch.
     """
 
+    #: Declared resource capture (SHARD003): the lock manager's stats
+    #: sink may be supplied by its owner.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, stats: StatsRegistry | None = None,
                  stripes: int = 16) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         count = max(1, stripes)
         self._resource_stripes = [_ResourceStripe() for _ in range(count)]
         self._txn_stripes = [_TxnStripe() for _ in range(count)]

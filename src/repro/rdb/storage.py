@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 import zlib
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import ChecksumError, StorageError
 
 
@@ -34,11 +34,15 @@ class Disk:
     the fault injector can model torn writes and media corruption.
     """
 
+    #: Declared resource capture (SHARD003): the device's stats sink
+    #: may be supplied by its owner (engine or test harness).
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, page_size: int = 4096, stats: StatsRegistry | None = None) -> None:
         if page_size < 64:
             raise StorageError(f"page size {page_size} is too small")
         self.page_size = page_size
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self._pages: list[bytes] = []
         self._checksums: list[int] = []
 

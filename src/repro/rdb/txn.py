@@ -25,7 +25,7 @@ from typing import Callable, Iterator
 
 from repro.analyze import sanitize as _sanitize
 from repro.core.deadline import Deadline
-from repro.core.stats import (GLOBAL_STATS, WAITS, StatsRegistry,
+from repro.core.stats import (WAITS, StatsRegistry, default_stats,
                               wait_counter)
 from repro.errors import (DeadlineExceededError, DeadlockError,
                           LockTimeoutError, TransactionError)
@@ -196,11 +196,21 @@ class AccountingLog:
 class Transaction:
     """One unit of work; obtained from :class:`TransactionManager`."""
 
+    #: Declared resource captures (see SHARD003 in ``repro.analyze``): a
+    #: txn handle works against its manager's lock/log/stats managers for
+    #: its whole life, captured once here instead of reached through
+    #: ``self._manager`` on every call — the txn is scoped to whatever
+    #: shard its manager belongs to.
+    _shard_scoped_ = ("_locks", "_log", "_stats")
+
     def __init__(self, txn_id: int, manager: "TransactionManager",
                  isolation: IsolationLevel) -> None:
         self.txn_id = txn_id
         self.isolation = isolation
         self._manager = manager
+        self._locks = manager.locks
+        self._log = manager.log
+        self._stats = manager.stats
         self.state = TxnState.ACTIVE
         self._undo: list[Callable[[], None]] = []
         #: Accounting sink: counter deltas charged to this transaction.
@@ -215,14 +225,14 @@ class Transaction:
 
     def charging(self):
         """Context manager attributing counter increments to this txn."""
-        return self._manager.stats.charge(self.acct)
+        return self._stats.charge(self.acct)
 
     # -- locking -------------------------------------------------------------
 
     def try_lock(self, resource: object, mode: LockMode) -> bool:
         """Attempt to lock ``resource``; False means the caller must wait."""
         self._check_active()
-        return self._manager.locks.try_acquire(self.txn_id, resource, mode)
+        return self._locks.try_acquire(self.txn_id, resource, mode)
 
     def lock(self, resource: object, mode: LockMode) -> None:
         """Lock ``resource`` or raise (single-threaded convenience path).
@@ -248,33 +258,33 @@ class Transaction:
         simulated wait.
         """
         if self.try_lock(resource, mode):
-            self._manager.stats.observe("lock.acquire_wait_steps", 0)
+            self._stats.observe("lock.acquire_wait_steps", 0)
             return
         manager = self._manager
         budget = manager.lock_wait_budget
         backoff = max(1, manager.lock_backoff_initial)
         waited = 0
         while True:
-            cycle = manager.locks.find_deadlock()
+            cycle = self._locks.find_deadlock()
             if cycle and self.txn_id in cycle:
-                manager.stats.add("txn.deadlocks")
+                self._stats.add("txn.deadlocks")
                 raise DeadlockError(
                     f"txn {self.txn_id} is a deadlock victim on "
                     f"{resource!r} (cycle {sorted(cycle)})")
             if self.deadline is not None and self.deadline.expired():
-                manager.locks.clear_waits(self.txn_id)
-                manager.stats.add("txn.deadline_exceeded")
+                self._locks.clear_waits(self.txn_id)
+                self._stats.add("txn.deadline_exceeded")
                 raise DeadlineExceededError(
                     f"txn {self.txn_id} ran out of deadline waiting for "
                     f"{resource!r} after {waited} simulated wait steps")
             if waited >= budget:
-                manager.locks.clear_waits(self.txn_id)
-                manager.stats.add("txn.lock_timeouts")
+                self._locks.clear_waits(self.txn_id)
+                self._stats.add("txn.lock_timeouts")
                 raise LockTimeoutError(
                     f"txn {self.txn_id} gave up on {resource!r} after "
                     f"{waited} simulated wait steps (budget {budget})")
             waited += backoff
-            manager.stats.add("lock.wait_steps", backoff)
+            self._stats.add("lock.wait_steps", backoff)
             backoff = min(backoff * 2, max(1, manager.lock_backoff_cap))
             yield_hook = manager.lock_wait_yield
             if yield_hook is not None:
@@ -282,10 +292,10 @@ class Transaction:
                 # interactive lock wait (DB2's IRLM lock suspension);
                 # charged here — not inside the hook — so the latch
                 # re-acquire after the sleep is part of the lock wait.
-                with manager.stats.wait_timer("lock.wait"):
+                with self._stats.wait_timer("lock.wait"):
                     yield_hook()
             if self.try_lock(resource, mode):
-                manager.stats.observe("lock.acquire_wait_steps", waited)
+                self._stats.observe("lock.acquire_wait_steps", waited)
                 return
 
     # -- logging and undo -----------------------------------------------------
@@ -294,7 +304,7 @@ class Transaction:
             extra: bytes = b"") -> None:
         """Write a redo record under this transaction."""
         self._check_active()
-        self._manager.log.append(self.txn_id, op, target, payload, extra)
+        self._log.append(self.txn_id, op, target, payload, extra)
 
     def on_abort(self, action: Callable[[], None]) -> None:
         """Register a logical undo action (run in reverse order on abort)."""
@@ -323,8 +333,8 @@ class Transaction:
             for action in reversed(self._undo):
                 action()
             self._undo.clear()
-            self._manager.log.append(self.txn_id, LogOp.ABORT)
-            self._manager.stats.add("txn.aborts")
+            self._log.append(self.txn_id, LogOp.ABORT)
+            self._stats.add("txn.aborts")
         self.state = TxnState.ABORTED
         self._manager._finish(self)
 
@@ -348,6 +358,11 @@ class TransactionManager:
     that actually reached the device.
     """
 
+    #: Declared resource captures (SHARD003): the manager *owns* the
+    #: shard's lock and log managers and its stats sink — they may be
+    #: supplied by the engine or self-constructed.
+    _shard_scoped_ = ("locks", "log", "stats")
+
     def __init__(self, locks: LockManager | None = None,
                  log: LogManager | None = None,
                  stats: StatsRegistry | None = None,
@@ -357,7 +372,7 @@ class TransactionManager:
                  checkpoint_every: int = 0,
                  on_checkpoint: Callable[[], None] | None = None,
                  accounting_size: int = 256) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self.locks = locks if locks is not None else LockManager(self.stats)
         self.log = log if log is not None else LogManager(self.stats)
         self.lock_wait_budget = lock_wait_budget

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.analyze import sanitize as _sanitize
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import LogError, RecoveryError
 from repro.rdb import codec
 
@@ -133,10 +133,14 @@ class LogManager:
     defined instants.
     """
 
+    #: Declared resource capture (SHARD003): the log manager's stats
+    #: sink may be supplied by its owner.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, stats: StatsRegistry | None = None,
                  injector: "object | None" = None,
                  auto_flush: bool = True) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self.injector = injector
         #: With ``auto_flush`` every append is immediately durable (the
         #: classic one-force-per-record discipline).  Group commit turns it
@@ -408,6 +412,10 @@ class GroupCommitter:
     crash inside the window halts the log: surviving workers' commits
     re-raise instead of hardening post-mortem state.
     """
+
+    #: Declared resource captures (SHARD003): the committer hardens one
+    #: log and reports to that log's (or a supplied) stats sink.
+    _shard_scoped_ = ("log", "stats")
 
     def __init__(self, log: LogManager, stats: StatsRegistry | None = None,
                  window: float = 0.002, max_group: int = 64) -> None:

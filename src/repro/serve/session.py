@@ -62,8 +62,14 @@ class PreparedStatement:
 class Session:
     """One client's server-side state (see module docstring)."""
 
+    #: deliberate resource capture (see repro.analyze.resources SHARD003):
+    #: the session charges statement-cache counters on every prepare and
+    #: must not reach them through the server on the hot path.
+    _shard_scoped_ = ("_stats",)
+
     def __init__(self, server: "DatabaseServer", session_id: int) -> None:
         self._server = server
+        self._stats = server.stats
         self.session_id = session_id
         self.closed = False
         #: The session's explicit transaction, if one is open.  Only
@@ -80,7 +86,7 @@ class Session:
         """Intern a statement in the session's LRU cache (no engine work)."""
         ns = tuple(sorted((namespaces or {}).items()))
         key = (table, column, path, ns)
-        stats = self._server.stats
+        stats = self._stats
         stmt = self._stmts.get(key)
         if stmt is not None:
             self._stmts.move_to_end(key)

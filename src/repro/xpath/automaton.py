@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import ExecutionError, XPathUnsupportedError
 from repro.lang import ast
 from repro.lang.parser import parse_xpath
@@ -38,9 +38,12 @@ class _Instance:
 class NaiveStreamEvaluator:
     """Per-instance NFA evaluation without state merging."""
 
+    #: Declared resource capture (SHARD003): evaluator-lifetime sink.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, path: ast.LocationPath | str,
                  stats: StatsRegistry | None = None) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         if isinstance(path, str):
             parsed = parse_xpath(path)
             if not isinstance(parsed, ast.LocationPath):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.lang import ast
 from repro.lang.parser import parse_xpath
 from repro.xpath.qtree import QueryTree, compile_query
@@ -53,7 +53,7 @@ def cached_parse(text: str, namespaces: dict[str, str] | None = None,
     Returns a shared AST object: callers must treat it as immutable (all
     engine consumers do — the planner and compiler build their own nodes).
     """
-    stats = stats if stats is not None else GLOBAL_STATS
+    stats = default_stats(stats)
     ns_key = None if not namespaces else tuple(sorted(namespaces.items()))
     key = (text, ns_key)
     hit = _lookup(_parse_cache, key)
@@ -69,7 +69,7 @@ def cached_parse(text: str, namespaces: dict[str, str] | None = None,
 def cached_compile(path: ast.LocationPath, collect_result_values: bool = True,
                    stats: StatsRegistry | None = None) -> QueryTree:
     """Compile ``path`` into a query tree, memoized on its structure."""
-    stats = stats if stats is not None else GLOBAL_STATS
+    stats = default_stats(stats)
     key = (repr(path), collect_result_values)
     hit = _lookup(_compile_cache, key)
     if hit is not None:

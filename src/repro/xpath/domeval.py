@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import ExecutionError, XPathUnsupportedError
 from repro.lang import ast
 from repro.lang.parser import parse_xpath
@@ -28,8 +28,11 @@ from repro.xpath.values import (Item, arithmetic, effective_boolean,
 class DomEvaluator:
     """Navigational evaluator over a materialized tree."""
 
+    #: Declared resource capture (SHARD003): evaluator-lifetime sink.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, stats: StatsRegistry | None = None) -> None:
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         self._order: dict[int, int] = {}
         self._visits = 0
 

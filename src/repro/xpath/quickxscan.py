@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.core.stats import GLOBAL_STATS, StatsRegistry
+from repro.core.stats import StatsRegistry, default_stats
 from repro.errors import ExecutionError
 from repro.lang.ast import LocationPath
 from repro.xdm.events import EventKind, SaxEvent
@@ -89,10 +89,13 @@ def _dedup(seq: list[Item]) -> list[Item]:
 class QuickXScan:
     """One-pass streaming evaluator for a compiled query tree."""
 
+    #: Declared resource capture (SHARD003): evaluator-lifetime sink.
+    _shard_scoped_ = ("stats",)
+
     def __init__(self, query: QueryTree,
                  stats: StatsRegistry | None = None) -> None:
         self.query = query
-        self.stats = stats if stats is not None else GLOBAL_STATS
+        self.stats = default_stats(stats)
         # Pre-split query nodes by what they can match.
         self._element_nodes = [q for q in query.nodes
                                if q.target in (Target.ELEMENT, Target.ANY)

@@ -38,11 +38,19 @@ class TestLoad:
         with pytest.raises(BaselineError, match="no reason"):
             Baseline.load(path)
 
-    def test_malformed_body_is_an_error(self, tmp_path):
+    def test_missing_fingerprint_is_an_error(self, tmp_path):
         path = tmp_path / "baseline.txt"
-        path.write_text("PIN001 too many words here  # reason\n")
+        path.write_text("PIN001  # reason\n")
         with pytest.raises(BaselineError, match="expected"):
             Baseline.load(path)
+
+    def test_fingerprint_may_contain_spaces(self, tmp_path):
+        # WAL002 details quote source text ('except Exception:'), so the
+        # fingerprint is everything after the first whitespace run.
+        path = tmp_path / "baseline.txt"
+        path.write_text("WAL002  m.py:f:except Exception:  # best effort\n")
+        baseline = Baseline.load(path)
+        assert "WAL002:m.py:f:except Exception:" in baseline.entries
 
     def test_error_message_carries_file_and_line(self, tmp_path):
         path = tmp_path / "baseline.txt"

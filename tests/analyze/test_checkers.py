@@ -215,6 +215,7 @@ class TestStatsHygieneChecker:
             """)
         user = write(tmp_path, "repro/user.py", """\
             def touch(stats):
+                stats.add("buffer.hits")
                 stats.observe("btree.search_entries", 3)
                 stats.observe("btree.search_entriez", 3)
             """)
@@ -241,6 +242,7 @@ class TestStatsHygieneChecker:
             """)
         user = write(tmp_path, "repro/user.py", """\
             def touch(stats):
+                stats.add("buffer.hits")
                 stats.observe("buffer.hits", 1)
             """)
         findings = run_checkers([StatsHygieneChecker()], [registry, user],
@@ -254,6 +256,7 @@ class TestStatsHygieneChecker:
             """)
         user = write(tmp_path, "repro/user.py", """\
             def block(stats):
+                stats.add("buffer.hits")
                 with stats.wait_timer("lock.wait"):
                     pass
                 stats.charge_wait("lock.wayt", 5)

@@ -1,0 +1,346 @@
+"""SHARD001-004 resource-flow checkers, fingerprints, cache and STAT005.
+
+Every fixture is a seeded snippet written to ``tmp_path`` — the analyzer
+never imports it.  Each test pins one rule: where the finding lands, what
+the ``--explain`` witness chain says, and which disciplined idioms must
+stay quiet.  The final classes cover the satellite machinery that rides
+on the same Program: STAT005 registry drift, the on-disk program cache,
+and the shipped-sources clean gate.
+"""
+
+import json
+import textwrap
+
+from repro.analyze import main, run_checkers
+from repro.analyze.progcache import CACHE_DIR_NAME, cached_program
+from repro.analyze.resources import ResourceFlowChecker, footprint_map
+from repro.analyze.statshygiene import StatsHygieneChecker
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def run_on(tmp_path, checker, relpath, source):
+    path = write(tmp_path, relpath, source)
+    return run_checkers([checker], [path], root=tmp_path)
+
+
+class TestShard001AmbientReach:
+    def test_cross_component_chain_is_ambient(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def read(self, pid):
+                    return self.db.pool.fetch(pid)
+            """)
+        codes = [f.code for f in findings]
+        assert codes == ["SHARD001"]
+        finding = findings[0]
+        assert finding.scope == "Store.read"
+        assert "self.db.pool" in finding.message
+        # --explain: the reach, then why it is ambient (the 'db' hop).
+        assert len(finding.call_path) == 2
+        assert "self.db.pool" in finding.call_path[0]
+        assert "'db'" in finding.call_path[1]
+        assert "ambient" in finding.call_path[1]
+
+    def test_resource_parameter_is_explicit(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def read(self, pool, pid):
+                    return pool.fetch(pid)
+            """)
+        assert findings == []
+
+    def test_context_hop_is_explicit(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def read(self, pid):
+                    return self.context.pool.fetch(pid)
+            """)
+        assert findings == []
+
+    def test_constructor_wiring_is_judged_by_shard003_not_shard001(
+            self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                _shard_scoped_ = ("pool",)
+                def __init__(self, db):
+                    self.pool = db.pool
+            """)
+        assert findings == []
+
+    def test_local_alias_does_not_launder_the_chain(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def read(self, pid):
+                    db = self.db
+                    return db.pool.fetch(pid)
+            """)
+        assert [f.code for f in findings] == ["SHARD001"]
+
+
+class TestShard002InstanceMixing:
+    SOURCE = """\
+        POOL_A = BufferPool(disk_a, capacity=8)
+        POOL_B = BufferPool(disk_b, capacity=8)
+
+        def migrate(pid):
+            frame = POOL_A.fetch(pid)
+            POOL_B.put(pid, frame)
+        """
+
+    def test_two_construction_sites_without_context_are_flagged(
+            self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "pools.py",
+                          self.SOURCE)
+        assert [f.code for f in findings] == ["SHARD002"]
+        finding = findings[0]
+        assert finding.scope == "migrate"
+        assert "pools.py::POOL_A" in finding.detail
+        assert "pools.py::POOL_B" in finding.detail
+        # --explain: one line per construction site.
+        assert len(finding.call_path) == 2
+        assert all("constructed here" in step for step in finding.call_path)
+
+    def test_context_parameter_names_the_shard(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "pools.py", """\
+            POOL_A = BufferPool(disk_a, capacity=8)
+            POOL_B = BufferPool(disk_b, capacity=8)
+
+            def migrate(pid, context):
+                frame = POOL_A.fetch(pid)
+                POOL_B.put(pid, frame)
+            """)
+        assert findings == []
+
+    def test_single_instance_is_fine(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "pools.py", """\
+            POOL_A = BufferPool(disk_a, capacity=8)
+
+            def read(pid):
+                return POOL_A.fetch(pid)
+            """)
+        assert findings == []
+
+
+class TestShard003UndeclaredCapture:
+    def test_undeclared_capture_is_flagged(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def __init__(self, db):
+                    self.pool = db.pool
+            """)
+        assert [f.code for f in findings] == ["SHARD003"]
+        finding = findings[0]
+        assert finding.detail == "Store.pool"
+        assert "_shard_scoped_" in finding.message
+        # --explain: the capture, then the declaration it is missing from.
+        assert len(finding.call_path) == 2
+        assert "self.pool = db.pool" in finding.call_path[0]
+        assert "(no declaration)" in finding.call_path[1]
+
+    def test_declared_capture_is_clean(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                _shard_scoped_ = ("pool",)
+                def __init__(self, db):
+                    self.pool = db.pool
+            """)
+        assert findings == []
+
+    def test_self_constructed_resource_needs_no_declaration(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "store.py", """\
+            class Store:
+                def __init__(self, disk):
+                    self.pool = BufferPool(disk, capacity=8)
+            """)
+        assert findings == []
+
+
+class TestShard004SplitFootprint:
+    SOURCE = """\
+        class Checkpointer:
+            def trickle(self, log):
+                log.append(b"ckpt")
+                self.db.pool.flush_page(1)
+        """
+
+    def test_split_log_pool_footprint_is_flagged(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "ckpt.py",
+                          self.SOURCE)
+        by_code = {f.code: f for f in findings}
+        assert "SHARD004" in by_code  # the ambient pool also fires SHARD001
+        finding = by_code["SHARD004"]
+        assert finding.scope == "Checkpointer.trickle"
+        assert finding.detail == "log=explicit,pool=ambient"
+        # --explain: footprint sections plus the effect witnesses.
+        rendered = "\n".join(finding.call_path)
+        assert "-- log footprint (explicit):" in rendered
+        assert "-- pool footprint (ambient):" in rendered
+        assert "-- WAL write:" in rendered
+        assert "-- page flush:" in rendered
+
+    def test_uniform_footprint_is_clean(self, tmp_path):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "ckpt.py", """\
+            class Checkpointer:
+                def trickle(self, log, pool):
+                    log.append(b"ckpt")
+                    pool.flush_page(1)
+            """)
+        assert [f.code for f in findings] == []
+
+
+class TestFingerprintStability:
+    SOURCE = """\
+        POOL_A = BufferPool(disk_a, capacity=8)
+        POOL_B = BufferPool(disk_b, capacity=8)
+
+        class Store:
+            def __init__(self, db):
+                self.locks = db.locks
+
+        def migrate(pid):
+            frame = POOL_A.fetch(pid)
+            POOL_B.put(pid, frame)
+
+        class Checkpointer:
+            def trickle(self, log):
+                log.append(b"ckpt")
+                self.db.pool.flush_page(1)
+        """
+
+    def fingerprints(self, tmp_path, source):
+        findings = run_on(tmp_path, ResourceFlowChecker(), "mix.py", source)
+        return sorted(f.fingerprint for f in findings)
+
+    def test_every_shard_code_survives_a_line_shift(self, tmp_path):
+        before = self.fingerprints(tmp_path, self.SOURCE)
+        codes = {fp.split(":", 1)[0] for fp in before}
+        assert codes == {"SHARD001", "SHARD002", "SHARD003", "SHARD004"}
+        shifted = "# leading comment\n\n\n" + textwrap.dedent(self.SOURCE)
+        after = self.fingerprints(tmp_path, shifted)
+        assert after == before
+
+
+class TestStat005RegistryDrift:
+    def seed(self, tmp_path, registry, charge):
+        write(tmp_path, "repro/core/stats.py", registry)
+        write(tmp_path, "repro/core/engine.py", charge)
+        return run_checkers([StatsHygieneChecker()], [tmp_path],
+                            root=tmp_path)
+
+    def test_dead_registry_entry_is_flagged(self, tmp_path):
+        findings = self.seed(tmp_path, """\
+            METRICS = frozenset({
+                "txn.commits",
+                "dead.metric",
+            })
+            """, """\
+            def commit(self):
+                self.stats.add("txn.commits")
+            """)
+        drift = [f for f in findings if f.code == "STAT005"]
+        assert [f.detail for f in drift] == ["dead.metric"]
+        assert drift[0].path == "repro/core/stats.py"
+        assert drift[0].scope == "METRICS"
+
+    def test_trip_sites_keep_sanitizer_counters_alive(self, tmp_path):
+        findings = self.seed(tmp_path, """\
+            METRICS = frozenset({"sanitize.trips", "sanitize.shard.mix"})
+            """, """\
+            def check(self):
+                trip(self.stats, "shard.mix", "boom")
+                self.stats.add("sanitize.trips")
+            """)
+        assert [f for f in findings if f.code == "STAT005"] == []
+
+    def test_wait_classes_keep_their_derived_counters_alive(self, tmp_path):
+        findings = self.seed(tmp_path, """\
+            WAITS = frozenset({"lock.row"})
+            METRICS = frozenset({"waits.lock_row_us"})
+            """, """\
+            def wait(self):
+                with self.stats.wait_timer("lock.row"):
+                    pass
+            """)
+        assert [f for f in findings if f.code == "STAT005"] == []
+
+
+class TestProgramCache:
+    def test_second_run_hits_and_agrees(self, tmp_path):
+        path = write(tmp_path, "store.py", """\
+            class Store:
+                def read(self, pid):
+                    return self.db.pool.fetch(pid)
+            """)
+        program1, errors1, info1 = cached_program([path], root=tmp_path)
+        assert not info1.hit
+        assert (tmp_path / CACHE_DIR_NAME).is_dir()
+        program2, errors2, info2 = cached_program([path], root=tmp_path)
+        assert info2.hit and info2.key == info1.key
+        findings1 = run_checkers([ResourceFlowChecker()], [path],
+                                 root=tmp_path, program=program1)
+        findings2 = run_checkers([ResourceFlowChecker()], [path],
+                                 root=tmp_path, program=program2)
+        assert [f.fingerprint for f in findings2] == \
+            [f.fingerprint for f in findings1]
+
+    def test_source_edit_misses(self, tmp_path):
+        path = write(tmp_path, "mod.py", "X = 1\n")
+        _, _, first = cached_program([path], root=tmp_path)
+        path.write_text("X = 2\n")
+        _, _, second = cached_program([path], root=tmp_path)
+        assert not second.hit
+        assert second.key != first.key
+
+    def test_disabled_cache_never_hits_or_writes(self, tmp_path):
+        path = write(tmp_path, "mod.py", "X = 1\n")
+        _, _, info = cached_program([path], root=tmp_path, enabled=False)
+        assert not info.enabled and not info.hit
+        assert not (tmp_path / CACHE_DIR_NAME).exists()
+
+    def test_parse_errors_replay_from_the_cache(self, tmp_path):
+        good = write(tmp_path, "good.py", "X = 1\n")
+        bad = write(tmp_path, "bad.py", "def broken(:\n")
+        _, errors1, info1 = cached_program([good, bad], root=tmp_path)
+        assert not info1.hit and len(errors1) == 1
+        _, errors2, info2 = cached_program([good, bad], root=tmp_path)
+        assert info2.hit
+        assert errors2 == errors1
+
+    def test_cli_reports_cache_state_in_json(self, tmp_path, capsys,
+                                             monkeypatch):
+        write(tmp_path, "mod.py", "X = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([str(tmp_path / "mod.py"), "--format", "json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache"]["enabled"] and not first["cache"]["hit"]
+        assert main([str(tmp_path / "mod.py"), "--format", "json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache"]["hit"]
+        assert main([str(tmp_path / "mod.py"), "--format", "json",
+                     "--no-cache"]) == 0
+        bypassed = json.loads(capsys.readouterr().out)
+        assert not bypassed["cache"]["enabled"]
+
+
+class TestFootprintMap:
+    def test_map_reports_direct_kinds_by_qualname(self, tmp_path):
+        write(tmp_path, "store.py", """\
+            class Store:
+                def read(self, pool, pid):
+                    self.stats.add("store.reads")
+                    return pool.fetch(pid)
+            """)
+        footprints = footprint_map([tmp_path], root=tmp_path)
+        assert footprints["Store.read"] == frozenset({"pool", "stats"})
+
+
+class TestShippedSourcesAreShardClean:
+    def test_resource_flow_gate(self):
+        """The acceptance gate: SHARD001-004 exit 0 on ``src``."""
+        assert main(["src", "--select", "resource-flow"]) == 0
